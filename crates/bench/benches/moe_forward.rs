@@ -1,0 +1,26 @@
+//! Microbenchmarks of the MoE substrate: forward pass and routing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use milo_moe::{MoeConfig, MoeModel};
+
+fn bench_forward(c: &mut Criterion) {
+    let mixtral = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 1);
+    let deepseek = MoeModel::synthesize(&MoeConfig::tiny_deepseek(), 2);
+    let tokens: Vec<u32> = (0..32).map(|i| (i * 7) % 64).collect();
+    c.bench_function("tiny_mixtral_forward_32_tokens", |b| {
+        b.iter(|| mixtral.forward(black_box(&tokens)).unwrap())
+    });
+    c.bench_function("tiny_deepseek_forward_32_tokens", |b| {
+        b.iter(|| deepseek.forward(black_box(&tokens)).unwrap())
+    });
+}
+
+fn bench_synthesis(c: &mut Criterion) {
+    let cfg = MoeConfig::tiny_mixtral();
+    c.bench_function("tiny_mixtral_synthesize", |b| {
+        b.iter(|| MoeModel::synthesize(black_box(&cfg), 3))
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_synthesis);
+criterion_main!(benches);

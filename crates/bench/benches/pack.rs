@@ -1,0 +1,69 @@
+//! Microbenchmarks of the packed INT3 layer: packing, the virtual-word
+//! recombination, and the binary-manipulation dequantization against the
+//! naive cast path (the software analogue of the paper's "MiLo Dequant"
+//! ablation).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use milo_pack::{
+    dequant_word_asym, dequant_word_sym, naive_dequant_word, pack_group, unpack_group,
+    virtual_word, PackedMatrix,
+};
+use milo_quant::{rtn_quantize, QuantConfig};
+use milo_tensor::rng::WeightDist;
+use milo_tensor::F16;
+use rand::{Rng, SeedableRng};
+
+fn codes(seed: u64) -> [u8; 32] {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut c = [0u8; 32];
+    for v in &mut c {
+        *v = rng.gen_range(0..8);
+    }
+    c
+}
+
+fn bench_pack(c: &mut Criterion) {
+    let group = codes(1);
+    c.bench_function("pack_group_32_weights", |b| {
+        b.iter(|| pack_group(black_box(&group)))
+    });
+    let packed = pack_group(&group);
+    c.bench_function("unpack_group_32_weights", |b| {
+        b.iter(|| unpack_group(black_box(&packed)))
+    });
+    c.bench_function("virtual_word_recombination", |b| {
+        b.iter(|| virtual_word(black_box(&packed)))
+    });
+}
+
+fn bench_dequant(c: &mut Criterion) {
+    let packed = pack_group(&codes(2));
+    let word = packed[0];
+    let scale = F16::from_f32(0.02);
+    let neg_zs = F16::from_f32(-0.06);
+    c.bench_function("dequant_word_sym_bit_trick", |b| {
+        b.iter(|| dequant_word_sym(black_box(word), scale))
+    });
+    c.bench_function("dequant_word_asym_bit_trick", |b| {
+        b.iter(|| dequant_word_asym(black_box(word), scale, neg_zs))
+    });
+    c.bench_function("dequant_word_naive_cast", |b| {
+        b.iter(|| naive_dequant_word(black_box(word), 0.02, 3.0))
+    });
+}
+
+fn bench_matrix_dequant(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(128, 256, &mut rng);
+    let q = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();
+    let packed = PackedMatrix::pack(&q).unwrap();
+    c.bench_function("packed_matrix_dequantize_128x256", |b| {
+        b.iter(|| black_box(&packed).dequantize())
+    });
+    c.bench_function("unpacked_matrix_dequantize_128x256", |b| {
+        b.iter(|| black_box(&q).dequantize())
+    });
+}
+
+criterion_group!(benches, bench_pack, bench_dequant, bench_matrix_dequant);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Microbenchmarks of the quantizers and the MiLo optimizer building
+//! blocks — the source of the quantization-time comparison in paper
+//! Table 1 / Fig. 8.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use milo_core::{milo_compress, LowRankCompensator, MiloOptions};
+use milo_quant::calib::{synthetic_calibration, CalibProfile};
+use milo_quant::{gptq_quantize, hqq_quantize, rtn_quantize, GptqOptions, HqqOptions, QuantConfig};
+use milo_tensor::linalg::truncated_svd;
+use milo_tensor::rng::WeightDist;
+use milo_tensor::Matrix;
+use rand::SeedableRng;
+
+fn weight(rows: usize, cols: usize) -> Matrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    WeightDist::StudentT { dof: 8.0, scale: 0.06 }.sample_matrix(rows, cols, &mut rng)
+}
+
+fn bench_quantizers(c: &mut Criterion) {
+    let w = weight(256, 256);
+    let cfg = QuantConfig::int3_asym();
+    c.bench_function("rtn_256x256_int3", |b| {
+        b.iter(|| rtn_quantize(black_box(&w), &cfg).unwrap())
+    });
+    c.bench_function("hqq_256x256_int3", |b| {
+        b.iter(|| hqq_quantize(black_box(&w), &cfg, &HqqOptions::default()).unwrap())
+    });
+    let x = synthetic_calibration(512, 256, CalibProfile::Isotropic, 3);
+    c.bench_function("gptq_256x256_int3", |b| {
+        b.iter(|| gptq_quantize(black_box(&w), &x, &cfg, &GptqOptions::default()).unwrap())
+    });
+}
+
+fn bench_svd(c: &mut Criterion) {
+    let e = weight(256, 256).scale(0.1);
+    c.bench_function("truncated_svd_rank16_256x256", |b| {
+        b.iter(|| truncated_svd(black_box(&e), 16, 8, 2, 5).unwrap())
+    });
+    c.bench_function("compensator_fit_rank16_256x256", |b| {
+        b.iter(|| LowRankCompensator::fit(black_box(&e), 16, 5).unwrap())
+    });
+}
+
+fn bench_milo_pipeline(c: &mut Criterion) {
+    let w = weight(256, 256);
+    let opts = MiloOptions { max_iters: 3, ..MiloOptions::default() };
+    c.bench_function("milo_compress_rank16_3iters_256x256", |b| {
+        b.iter(|| milo_compress(black_box(&w), 16, &opts).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_quantizers, bench_svd, bench_milo_pipeline);
+criterion_main!(benches);

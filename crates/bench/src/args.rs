@@ -1,0 +1,94 @@
+//! Minimal CLI-flag parsing for the experiment binaries.
+//!
+//! Supports `--name value` pairs and bare `--flag` switches; no external
+//! dependency is warranted for this.
+
+use std::collections::HashMap;
+
+/// Parsed command-line flags.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses from the process arguments.
+    pub fn parse() -> Self {
+        Self::from_iter(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (used by tests).
+    pub fn from_iter(items: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let items: Vec<String> = items.into_iter().collect();
+        let mut i = 0;
+        while i < items.len() {
+            let item = &items[i];
+            if let Some(name) = item.strip_prefix("--") {
+                let next_is_value =
+                    items.get(i + 1).map(|n| !n.starts_with("--")).unwrap_or(false);
+                if next_is_value {
+                    out.values.insert(name.to_string(), items[i + 1].clone());
+                    i += 2;
+                    continue;
+                }
+                out.flags.push(name.to_string());
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// Whether a bare `--name` switch was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+
+    /// Raw `--name value` lookup.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// `--name value` parsed as `f32`.
+    pub fn get_f32(&self, name: &str) -> Option<f32> {
+        self.get(name).and_then(|v| v.parse().ok())
+    }
+
+    /// `--name value` parsed as `u64`.
+    pub fn get_u64(&self, name: &str) -> Option<u64> {
+        self.get(name).and_then(|v| v.parse().ok())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_iter(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_pairs_and_flags() {
+        let a = args(&["--scale", "0.5", "--fast", "--seed", "7"]);
+        assert_eq!(a.get_f32("scale"), Some(0.5));
+        assert_eq!(a.get_u64("seed"), Some(7));
+        assert!(a.flag("fast"));
+        assert!(!a.flag("slow"));
+    }
+
+    #[test]
+    fn missing_values_are_none() {
+        let a = args(&["--fast"]);
+        assert_eq!(a.get("scale"), None);
+        assert_eq!(a.get_f32("scale"), None);
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_bare() {
+        let a = args(&["--fast", "--verbose"]);
+        assert!(a.flag("fast"));
+        assert!(a.flag("verbose"));
+    }
+}

@@ -1,0 +1,58 @@
+//! Regenerates paper Fig. 11 (Appendix A): compensator memory vs
+//! perplexity as the uniform rank grows — the rank/performance
+//! trade-off curve.
+//!
+//! Run: `cargo run --release -p milo-bench --bin fig11_rank_tradeoff [--fast]`
+
+use milo_bench::methods::run_milo;
+use milo_bench::{banner, Args, Setup};
+use milo_core::{MiloOptions, RankPolicy};
+use milo_eval::{EvalContext, Table};
+use milo_moe::MoeModel;
+
+fn main() {
+    banner(
+        "Figure 11: compensator memory vs perplexity across ranks",
+        "perplexity decreases monotonically as rank (and compensator memory) grows, with \
+         diminishing returns at higher ranks",
+    );
+    let args = Args::parse();
+    let setup = Setup::from_args(&args);
+    let max_dim = setup.mixtral.d_model;
+    let ranks: Vec<usize> = [0usize, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&r| r <= max_dim)
+        .collect();
+
+    let reference = MoeModel::synthesize(&setup.mixtral, setup.seed);
+    eprintln!("preparing evaluation context...");
+    let ctx = EvalContext::prepare(&reference, &setup.eval).expect("eval context");
+    let opts = MiloOptions::default();
+
+    let mut t = Table::new(["rank", "compensator MB", "total MB", "PPL"]);
+    let mut series = Vec::new();
+    for &rank in &ranks {
+        eprintln!("rank {rank}...");
+        let out = run_milo(&reference, None, &RankPolicy::uniform(rank), &opts, setup.threads)
+            .expect("milo");
+        let comp_mb = out.compressed.compensator_bytes() as f64 / 1e6;
+        let r = ctx.evaluate("x", &out.model, out.memory_bytes, out.seconds).expect("eval");
+        t.push_row([
+            rank.to_string(),
+            format!("{comp_mb:.2}"),
+            format!("{:.2}", out.memory_bytes as f64 / 1e6),
+            format!("{:.4}", r.ppl),
+        ]);
+        series.push((rank, r.ppl));
+    }
+    println!("{}", t.render());
+
+    let first = series.first().unwrap().1;
+    let last = series.last().unwrap().1;
+    println!(
+        "Shape check: PPL should trend down with rank ({first:.4} at rank {} -> {last:.4} \
+         at rank {}), with most of the gain from the first few ranks.",
+        series.first().unwrap().0,
+        series.last().unwrap().0
+    );
+}

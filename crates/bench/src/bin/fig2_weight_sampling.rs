@@ -1,0 +1,104 @@
+//! Regenerates paper Fig. 2: sampled weight distributions of an
+//! attention projection vs an expert projection, in FP16 and after INT3
+//! de-quantization.
+//!
+//! Prints the histogram series for both layer classes and quantifies
+//! Observation 2 with region-restricted reconstruction error:
+//! quantization *captures the outliers* (tiny error on the largest |w|)
+//! while *losing the insignificant values* (large error on moderate
+//! |w|), more severely for the heavy-tailed attention weights.
+//!
+//! Run: `cargo run --release -p milo-bench --bin fig2_weight_sampling`
+
+use milo_bench::{banner, Args, Setup};
+use milo_eval::Table;
+use milo_moe::{FfnBlock, MoeModel};
+use milo_quant::{rtn_quantize, QuantConfig};
+use milo_tensor::stats::{matrix_kurtosis, variance, Histogram};
+use milo_tensor::Matrix;
+
+/// RMSE of `w − recon` over elements selected by `keep`, normalized by
+/// the overall weight standard deviation.
+fn region_loss(w: &Matrix, recon: &Matrix, keep: impl Fn(f32) -> bool) -> f32 {
+    let std = variance(w.as_slice()).sqrt().max(1e-12);
+    let mut se = 0.0f64;
+    let mut n = 0usize;
+    for (&a, &b) in w.as_slice().iter().zip(recon.as_slice()) {
+        if keep(a) {
+            se += ((a - b) as f64).powi(2);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    ((se / n as f64).sqrt() as f32) / std
+}
+
+/// |w| quantile.
+fn abs_quantile(w: &Matrix, q: f32) -> f32 {
+    let mut mags: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+    mags[((mags.len() - 1) as f32 * q) as usize]
+}
+
+fn main() {
+    banner(
+        "Figure 2: weight sampling, attention vs expert, FP16 vs INT3",
+        "attention weights are heavy-tailed with outliers; INT3 captures the outliers but \
+         loses the insignificant (moderate) values, visibly more so for the attention \
+         projection than for the expert projection",
+    );
+    let args = Args::parse();
+    let setup = Setup::from_args(&args);
+    let bins = args.get_u64("bins").unwrap_or(21) as usize;
+
+    let model = MoeModel::synthesize(&setup.mixtral, setup.seed);
+    let attn = model.layers[0].attn.wq.clone();
+    let expert = match &model.layers[0].ffn {
+        FfnBlock::Moe(moe) => moe.experts[0].w1.clone(),
+        FfnBlock::Dense(mlp) => mlp.w1.clone(),
+    };
+
+    let mut insig_losses = Vec::new();
+    for (name, w) in [("(a) attention projection (wq)", &attn), ("(b) expert projection (w1)", &expert)] {
+        let dq = rtn_quantize(w, &QuantConfig::int3_asym()).expect("RTN succeeds").dequantize();
+
+        // Histogram series (the visual part of the figure).
+        let range = w.max_abs();
+        let mut h_fp = Histogram::new(-range, range, bins);
+        let mut h_q = Histogram::new(-range, range, bins);
+        h_fp.add_all(w.as_slice());
+        h_q.add_all(dq.as_slice());
+        println!("{name}: kurtosis {:.3}", matrix_kurtosis(w));
+        let mut t = Table::new(["bin center", "FP16 count", "INT3-dequant count"]);
+        for i in 0..bins {
+            t.push_row([
+                format!("{:+.4}", h_fp.bin_center(i)),
+                h_fp.counts()[i].to_string(),
+                h_q.counts()[i].to_string(),
+            ]);
+        }
+        println!("{}", t.render());
+
+        // Region-restricted losses (the quantitative part).
+        let q50 = abs_quantile(w, 0.5);
+        let q99 = abs_quantile(w, 0.99);
+        let insig = region_loss(w, &dq, |v| v.abs() <= q50);
+        let outlier = region_loss(w, &dq, |v| v.abs() >= q99);
+        println!(
+            "  loss on insignificant weights (|w| <= median): {insig:.4} (RMSE/std)\n  \
+             loss on outliers (|w| >= p99):               {outlier:.4} (RMSE/std)\n"
+        );
+        insig_losses.push((name, insig, outlier));
+    }
+
+    let (_, attn_insig, attn_out) = insig_losses[0];
+    let (_, exp_insig, _) = insig_losses[1];
+    println!(
+        "Shape checks:\n  1. outliers are captured: attention outlier loss ({attn_out:.4}) is \
+         comparable to its insignificant-value loss ({attn_insig:.4}) despite outliers being \
+         an order of magnitude larger in |w|;\n  2. heavy tails hurt: attention \
+         insignificant-value loss ({attn_insig:.4}) exceeds the expert's ({exp_insig:.4})."
+    );
+}

@@ -1,0 +1,70 @@
+//! Regenerates paper Fig. 3: the heatmap of expert activation frequency
+//! per layer for both models on a synthetic corpus, plus the max/min
+//! imbalance ratios (the paper quotes 11.7× for DeepSeek-MoE).
+//!
+//! Run: `cargo run --release -p milo-bench --bin fig3_expert_frequency [--fast]`
+
+use milo_bench::{banner, Args, Setup};
+use milo_eval::generate_corpus;
+use milo_moe::{profile_expert_frequency, MoeModel};
+
+fn heat_char(frac: f32, max: f32) -> char {
+    const RAMP: [char; 8] = [' ', '.', ':', '-', '=', '+', '#', '@'];
+    if max <= 0.0 {
+        return ' ';
+    }
+    let idx = ((frac / max) * (RAMP.len() - 1) as f32).round() as usize;
+    RAMP[idx.min(RAMP.len() - 1)]
+}
+
+fn main() {
+    banner(
+        "Figure 3: expert activation frequency heatmap",
+        "expert usage is uneven, especially for DeepSeek-MoE's fine-grained experts: the \
+         most-used expert fires 11.7x more often than the least-used in the same layer",
+    );
+    let args = Args::parse();
+    let setup = Setup::from_args(&args);
+    let (n_seqs, seq_len) = if args.flag("fast") { (6, 24) } else { (16, 48) };
+
+    for cfg in [&setup.mixtral, &setup.deepseek] {
+        let model = MoeModel::synthesize(cfg, setup.seed);
+        let corpus =
+            generate_corpus(&model, n_seqs, seq_len, setup.seed ^ 0x5eed).expect("corpus");
+        let profile = profile_expert_frequency(&model, &corpus).expect("profiling succeeds");
+
+        println!("{} — rows = layers (top→bottom), cols = experts:", cfg.name);
+        let fmt_ratio = |r: f32, freqs: &[f32]| {
+            if r.is_finite() {
+                format!("{r:.1}")
+            } else {
+                // Some experts never fired on this corpus; report against
+                // the mean instead of the (zero) minimum.
+                let mean = freqs.iter().sum::<f32>() / freqs.len() as f32;
+                let max = freqs.iter().cloned().fold(0.0f32, f32::max);
+                format!(">{:.0} (some experts unused; max/mean {:.1})", freqs.len(), max / mean)
+            }
+        };
+        for (li, freqs) in profile.per_layer.iter().enumerate() {
+            if freqs.is_empty() {
+                println!("  layer {li:>2} | (dense FFN layer)");
+                continue;
+            }
+            let max = freqs.iter().cloned().fold(0.0f32, f32::max);
+            let row: String = freqs.iter().map(|&f| heat_char(f, max)).collect();
+            println!(
+                "  layer {li:>2} |{row}|  max/min ratio {}",
+                fmt_ratio(profile.imbalance_ratio(li), freqs)
+            );
+        }
+        let finite_worst = (0..profile.per_layer.len())
+            .filter(|&l| !profile.per_layer[l].is_empty())
+            .map(|l| profile.imbalance_ratio(l))
+            .filter(|r| r.is_finite())
+            .fold(1.0f32, f32::max);
+        println!(
+            "  worst finite layer imbalance: {finite_worst:.1}x \
+             (paper: Mixtral mild, DeepSeek ~11.7x)\n"
+        );
+    }
+}

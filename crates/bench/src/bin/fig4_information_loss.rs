@@ -1,0 +1,98 @@
+//! Regenerates paper Fig. 4: information-loss analysis. For an attention
+//! layer (heavy-tailed) and an expert layer (light-tailed), compares the
+//! reconstruction of the FP16 weights under INT3, INT4, and INT3 +
+//! low-rank compensation, focusing on the *insignificant* weights
+//! (|w| ≤ median) where Observation 2 locates the loss.
+//!
+//! Run: `cargo run --release -p milo-bench --bin fig4_information_loss`
+
+use milo_bench::{banner, Args, Setup};
+use milo_core::{milo_compress, MiloOptions};
+use milo_eval::Table;
+use milo_moe::{FfnBlock, MoeModel};
+use milo_quant::{rtn_quantize, QuantConfig};
+use milo_tensor::stats::variance;
+use milo_tensor::Matrix;
+
+/// RMSE of `w − recon` over elements with `|w| <= threshold`, normalized
+/// by the overall weight standard deviation.
+fn insignificant_loss(w: &Matrix, recon: &Matrix, threshold: f32) -> f32 {
+    let std = variance(w.as_slice()).sqrt().max(1e-12);
+    let mut se = 0.0f64;
+    let mut n = 0usize;
+    for (&a, &b) in w.as_slice().iter().zip(recon.as_slice()) {
+        if a.abs() <= threshold {
+            se += ((a - b) as f64).powi(2);
+            n += 1;
+        }
+    }
+    ((se / n.max(1) as f64).sqrt() as f32) / std
+}
+
+fn abs_median(w: &Matrix) -> f32 {
+    let mut mags: Vec<f32> = w.as_slice().iter().map(|v| v.abs()).collect();
+    mags.sort_by(|a, b| a.partial_cmp(b).expect("finite weights"));
+    mags[mags.len() / 2]
+}
+
+fn main() {
+    banner(
+        "Figure 4: information loss under INT3 / INT4 / INT3+LoRC",
+        "for the heavy-tailed attention layer, INT3 loses the insignificant values, INT4 \
+         closes part of the gap, and INT3 + low-rank compensation refills the non-outliers; \
+         for the light-tailed expert layer the effect is much weaker (same |w| range)",
+    );
+    let args = Args::parse();
+    let setup = Setup::from_args(&args);
+    let rank = args.get_u64("rank").unwrap_or(32) as usize;
+
+    let model = MoeModel::synthesize(&setup.mixtral, setup.seed);
+    let attn = model.layers[0].attn.wq.clone();
+    let expert = match &model.layers[0].ffn {
+        FfnBlock::Moe(moe) => moe.experts[0].w1.clone(),
+        FfnBlock::Dense(mlp) => mlp.w1.clone(),
+    };
+
+    let opts = MiloOptions { max_iters: 8, compensator_cfg: None, ..MiloOptions::default() };
+    let mut t = Table::new([
+        "layer",
+        "INT3 loss",
+        "INT4 loss",
+        "INT3+LoRC loss",
+        "LoRC recovery vs INT3",
+    ]);
+    let mut rows = Vec::new();
+    for (name, w) in [("(a) attention", &attn), ("(b) expert", &expert)] {
+        let threshold = abs_median(w);
+        let int3 = rtn_quantize(w, &QuantConfig::int3_asym()).expect("rtn3").dequantize();
+        let int4 = rtn_quantize(w, &QuantConfig::int4_asym()).expect("rtn4").dequantize();
+        let r = rank.min(w.rows().min(w.cols()));
+        let lorc = milo_compress(w, r, &opts).expect("milo").effective_weight();
+        let l3 = insignificant_loss(w, &int3, threshold);
+        let l4 = insignificant_loss(w, &int4, threshold);
+        let ll = insignificant_loss(w, &lorc, threshold);
+        t.push_row([
+            name.to_string(),
+            format!("{l3:.4}"),
+            format!("{l4:.4}"),
+            format!("{ll:.4}"),
+            format!("{:.1}%", 100.0 * (l3 - ll) / l3),
+        ]);
+        rows.push((name, l3, l4, ll));
+    }
+    println!(
+        "Normalized RMSE on insignificant weights (|w| <= median), lower is better:\n{}",
+        t.render()
+    );
+
+    let (_, a3, a4, al) = rows[0];
+    let (_, e3, _, el) = rows[1];
+    println!(
+        "Shape checks:\n  1. INT4 and INT3+LoRC both reduce the attention layer's loss vs \
+         INT3 ({a3:.4} -> {a4:.4} / {al:.4});\n  2. the attention layer starts worse than \
+         the expert layer ({a3:.4} vs {e3:.4});\n  3. compensation recovers more absolute \
+         loss on the attention layer ({:.4}) than on the expert layer ({:.4}).",
+        a3 - al,
+        e3 - el
+    );
+}

@@ -1,0 +1,77 @@
+//! Regenerates paper Fig. 8: quantization time vs MMLU accuracy for
+//! RTN, HQQ, GPTQ, and MiLo (20 iterations) on the Mixtral-like model.
+//!
+//! Run: `cargo run --release -p milo-bench --bin fig8_time_vs_accuracy [--fast]`
+
+use milo_bench::methods::{run_gptq_full, run_milo};
+use milo_bench::{banner, mixtral_s1, run_rtn, Args, Setup};
+use milo_core::{MiloOptions, RankPolicy};
+use milo_eval::{generate_corpus, EvalContext, Table};
+use milo_moe::{profile_expert_frequency, MoeModel};
+use milo_quant::QuantConfig;
+
+fn main() {
+    banner(
+        "Figure 8: quantization time vs MMLU accuracy (Mixtral)",
+        "MiLo delivers the best accuracy at ~3x less quantization time than GPTQ; it is \
+         slower than the other calibration-free methods (RTN, HQQ) but stays in an \
+         acceptable timeframe",
+    );
+    let args = Args::parse();
+    let setup = Setup::from_args(&args);
+    let calib_seqs = if args.flag("fast") { 24 } else if args.flag("full") { 64 } else { 40 };
+
+    let reference = MoeModel::synthesize(&setup.mixtral, setup.seed);
+    eprintln!("preparing evaluation context...");
+    let ctx = EvalContext::prepare(&reference, &setup.eval).expect("eval context");
+    let corpus = generate_corpus(&reference, 8, 32, setup.seed ^ 0xf3e9).expect("corpus");
+    let profile = profile_expert_frequency(&reference, &corpus).expect("profile");
+    let calib_corpus = generate_corpus(&reference, calib_seqs, 48, setup.seed ^ 0xca11b)
+        .expect("calibration corpus");
+
+    let int3 = QuantConfig::int3_asym();
+    let milo_opts = MiloOptions { max_iters: 20, ..MiloOptions::default() };
+    let runs = vec![
+        ("RTN", run_rtn(&reference, &int3).expect("rtn")),
+        (
+            "HQQ",
+            run_milo(&reference, None, &RankPolicy::uniform(0), &MiloOptions::default(), setup.threads)
+                .expect("hqq"),
+        ),
+        ("GPTQ", run_gptq_full(&reference, &int3, &calib_corpus, setup.seed).expect("gptq")),
+        (
+            "MiLo",
+            run_milo(&reference, Some(&profile), &mixtral_s1(setup.mixtral.d_model), &milo_opts, setup.threads)
+                .expect("milo"),
+        ),
+    ];
+
+    let mut t = Table::new(["method", "quant time (s)", "MMLU (%)", "zero-shot avg (%)", "PPL"]);
+    let mut points = Vec::new();
+    for (name, out) in &runs {
+        eprintln!("evaluating {name}...");
+        let r = ctx.evaluate(*name, &out.model, out.memory_bytes, out.seconds).expect("eval");
+        let mmlu = r.score("MMLU").unwrap_or(0.0);
+        t.push_row([
+            name.to_string(),
+            format!("{:.2}", out.seconds),
+            format!("{mmlu:.2}"),
+            format!("{:.2}", r.zero_shot_avg()),
+            format!("{:.3}", r.ppl),
+        ]);
+        points.push((name.to_string(), out.seconds, r.zero_shot_avg(), r.ppl));
+    }
+    println!("{}", t.render());
+
+    let get = |n: &str| points.iter().find(|p| p.0 == n).cloned().unwrap();
+    let (_, t_milo, avg_milo, ppl_milo) = get("MiLo");
+    let (_, t_gptq, avg_gptq, ppl_gptq) = get("GPTQ");
+    println!(
+        "Shape check (paper: MiLo reaches the best accuracy at ~3x less quantization time \
+         than GPTQ):\n  measured: MiLo {t_milo:.1}s / avg {avg_milo:.2}% / PPL {ppl_milo:.2} \
+         vs GPTQ {t_gptq:.1}s / avg {avg_gptq:.2}% / PPL {ppl_gptq:.2}.\n  At this model \
+         scale MiLo's 20 outer iterations can cost more than GPTQ's calibration (GPTQ's \
+         cost grows much faster with model size), so the time ordering may differ from the \
+         paper while the accuracy ordering should hold."
+    );
+}

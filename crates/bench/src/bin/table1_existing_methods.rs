@@ -1,0 +1,67 @@
+//! Regenerates paper Table 1: quantization time and perplexity of the
+//! existing methods (RTN, GPTQ) at FP16 / INT4 / INT3 on both models —
+//! the motivating observation that INT4 is nearly free but INT3 is not.
+//!
+//! Run: `cargo run --release -p milo-bench --bin table1_existing_methods [--fast]`
+
+use milo_bench::methods::run_gptq_full;
+use milo_bench::{banner, run_rtn, Args, Setup};
+use milo_eval::{generate_corpus, perplexity, Table};
+use milo_moe::MoeModel;
+use milo_quant::QuantConfig;
+
+fn main() {
+    banner(
+        "Table 1: existing quantization methods (quant time + perplexity)",
+        "Mixtral: FP16 3.42, RTN INT4 3.63 / INT3 4.81, GPTQ INT4 3.63 / INT3 4.61; \
+         DeepSeek: FP16 5.83, RTN 6.04/7.32, GPTQ 6.02/7.08; GPTQ is ~15-35x slower \
+         to quantize than RTN. INT4 is nearly lossless, INT3 is not.",
+    );
+    let args = Args::parse();
+    let setup = Setup::from_args(&args);
+    let calib_seqs = if args.flag("fast") { 24 } else if args.flag("full") { 64 } else { 40 };
+
+    let mut t = Table::new([
+        "model",
+        "method",
+        "quant time (s)",
+        "PPL FP16",
+        "PPL INT4",
+        "PPL INT3",
+    ]);
+
+    for cfg in [&setup.mixtral, &setup.deepseek] {
+        let reference = MoeModel::synthesize(cfg, setup.seed);
+        let corpus = generate_corpus(&reference, setup.eval.n_seqs, setup.eval.seq_len, setup.eval.corpus_seed)
+            .expect("corpus generation");
+        let calib_corpus = generate_corpus(&reference, calib_seqs, 48, setup.seed ^ 0xca11b)
+            .expect("calibration corpus");
+        let ppl_fp16 = perplexity(&reference, &corpus).expect("fp16 ppl");
+
+        for method in ["RTN", "GPTQ"] {
+            let mut ppl = Vec::new();
+            let mut secs = 0.0;
+            for bits_cfg in [QuantConfig::int4_asym(), QuantConfig::int3_asym()] {
+                let out = match method {
+                    "RTN" => run_rtn(&reference, &bits_cfg).expect("rtn"),
+                    _ => run_gptq_full(&reference, &bits_cfg, &calib_corpus, setup.seed).expect("gptq"),
+                };
+                secs += out.seconds;
+                ppl.push(perplexity(&out.model, &corpus).expect("ppl"));
+            }
+            t.push_row([
+                cfg.name.clone(),
+                method.to_string(),
+                format!("{secs:.1}"),
+                format!("{ppl_fp16:.3}"),
+                format!("{:.3}", ppl[0]),
+                format!("{:.3}", ppl[1]),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: per model, PPL(FP16) <= PPL(INT4) << PPL(INT3); GPTQ's INT3 PPL is\n\
+         a bit better than RTN's but its quantization time is an order of magnitude higher."
+    );
+}

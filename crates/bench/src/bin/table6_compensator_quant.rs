@@ -1,0 +1,73 @@
+//! Regenerates paper Table 6: INT8 vs INT3 quantization of the low-rank
+//! compensators on the Mixtral-like model across uniform ranks —
+//! compensator memory and perplexity.
+//!
+//! Run: `cargo run --release -p milo-bench --bin table6_compensator_quant [--fast]`
+
+use milo_bench::methods::run_milo;
+use milo_bench::{banner, scale_rank, Args, Setup};
+use milo_core::{MiloOptions, RankPolicy};
+use milo_eval::{EvalContext, Table};
+use milo_moe::MoeModel;
+use milo_quant::{QuantConfig, Scheme};
+
+fn main() {
+    banner(
+        "Table 6: INT8 vs INT3 low-rank compensators (Mixtral)",
+        "INT3 compensators use 37.5% of INT8's memory at a ~0.2% perplexity cost: rank 16 \
+         296MB/4.5014 (INT8) vs 106MB/4.5084 (INT3); rank 32 525/4.4682 vs 212/4.4786; \
+         rank 64 983/4.4054 vs 424/4.4174",
+    );
+    let args = Args::parse();
+    let setup = Setup::from_args(&args);
+    let opts_base = MiloOptions::default();
+    // Paper ranks 16/32/64 at d=4096. Proportional scaling collapses the
+    // small synthetic dimensions onto the rank floor, so preserve the
+    // paper's 1:2:4 ladder anchored at a rank that is meaningful for the
+    // model size (≥ 4).
+    let base = scale_rank(16, 4096, setup.mixtral.d_model).max(4);
+    let ranks: Vec<usize> = vec![base, base * 2, base * 4];
+
+    let reference = MoeModel::synthesize(&setup.mixtral, setup.seed);
+    eprintln!("preparing evaluation context...");
+    let ctx = EvalContext::prepare(&reference, &setup.eval).expect("eval context");
+
+    let int8 = QuantConfig::new(8, 64, Scheme::Symmetric).expect("valid config");
+    let int3 = QuantConfig::int3_sym();
+
+    let mut t = Table::new([
+        "Rank",
+        "INT8 comp MB",
+        "INT3 comp MB",
+        "INT8 PPL",
+        "INT3 PPL",
+        "memory ratio",
+    ]);
+    for &rank in &ranks {
+        let mut row = vec![rank.to_string()];
+        let mut mems = Vec::new();
+        let mut ppls = Vec::new();
+        for cfg in [&int8, &int3] {
+            eprintln!("rank {rank}, {:?}-bit compensators...", cfg.bits());
+            let opts = MiloOptions { compensator_cfg: Some(*cfg), ..opts_base };
+            let out = run_milo(&reference, None, &RankPolicy::uniform(rank), &opts, setup.threads)
+                .expect("milo");
+            mems.push(out.compressed.compensator_bytes() as f64 / 1e6);
+            let r = ctx
+                .evaluate("x", &out.model, out.memory_bytes, out.seconds)
+                .expect("evaluation");
+            ppls.push(r.ppl);
+        }
+        row.push(format!("{:.2}", mems[0]));
+        row.push(format!("{:.2}", mems[1]));
+        row.push(format!("{:.4}", ppls[0]));
+        row.push(format!("{:.4}", ppls[1]));
+        row.push(format!("{:.3}", mems[1] / mems[0]));
+        t.push_row(row);
+    }
+    println!("{}", t.render());
+    println!(
+        "Shape check: INT3 compensators should use ~0.38-0.45x of INT8's memory with only\n\
+         a small perplexity penalty, and higher ranks should lower perplexity for both."
+    );
+}

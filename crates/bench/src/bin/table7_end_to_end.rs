@@ -1,0 +1,47 @@
+//! Regenerates paper Table 7: end-to-end first-token latency of
+//! Mixtral-8×7B under four backends at batch sizes 1, 16, 32 on an
+//! A100-40GB.
+//!
+//! Run: `cargo run --release -p milo-bench --bin table7_end_to_end`
+
+use milo_bench::banner;
+use milo_eval::Table;
+use milo_gpu_sim::{end_to_end, Backend, Device, E2eResult, ModelSpec};
+
+fn main() {
+    banner(
+        "Table 7: end-to-end latency for Mixtral-8x7B (seconds)",
+        "PyTorch FP16: OOM at every batch; GPTQ3bit: 0.102 at bs=1, unsupported beyond; \
+         MARLIN: 0.123/0.141/0.145; MiLo: 0.102/0.112/0.113 (~1.2x faster than MARLIN)",
+    );
+
+    let dev = Device::a100_40gb();
+    let spec = ModelSpec::mixtral_8x7b();
+    let batches = [1usize, 16, 32];
+    let backends =
+        [Backend::PyTorchFp16, Backend::Gptq3bit, Backend::Marlin, Backend::Milo];
+
+    let mut t = Table::new(
+        std::iter::once("Backend / Batch size".to_string())
+            .chain(batches.iter().map(|b| b.to_string())),
+    );
+    for backend in backends {
+        let mut row = vec![backend.name().to_string()];
+        for &batch in &batches {
+            row.push(match end_to_end(&dev, backend, &spec, batch) {
+                E2eResult::Latency(s) => format!("{s:.3}"),
+                E2eResult::OutOfMemory => "OOM".to_string(),
+                E2eResult::Unsupported => "-".to_string(),
+            });
+        }
+        t.push_row(row);
+    }
+    println!("{}", t.render());
+
+    println!("MiLo speedup over MARLIN:");
+    for &batch in &batches {
+        let milo = end_to_end(&dev, Backend::Milo, &spec, batch).latency().unwrap();
+        let marlin = end_to_end(&dev, Backend::Marlin, &spec, batch).latency().unwrap();
+        println!("  batch {batch:<3} {:.2}x", marlin / milo);
+    }
+}

@@ -1,0 +1,87 @@
+//! The s1/s2 rank strategies of paper Table 5, scaled to the synthetic
+//! models.
+//!
+//! The paper's ranks are stated for the full-size models (d = 4096 for
+//! Mixtral-8×7B, d = 2048 for DeepSeek-MoE). Compensator effectiveness
+//! is governed by the rank as a *fraction of the matrix dimension*, so
+//! ranks scale proportionally with the model dimension, with a floor of
+//! 2 so sparse-layer compensators don't round away entirely.
+
+use milo_core::{RankPolicy, SparseAllocation};
+
+/// Scales a paper rank stated at `paper_dim` to a model of dimension
+/// `model_dim` (proportional, floored at 2 for nonzero ranks).
+pub fn scale_rank(paper_rank: usize, paper_dim: usize, model_dim: usize) -> usize {
+    if paper_rank == 0 {
+        return 0;
+    }
+    ((paper_rank * model_dim + paper_dim / 2) / paper_dim).max(2)
+}
+
+/// Mixtral MiLo-s1: `Dense-512 + Kurtosis-16` (paper Table 5), scaled.
+pub fn mixtral_s1(d_model: usize) -> RankPolicy {
+    RankPolicy::composite(
+        scale_rank(512, 4096, d_model),
+        SparseAllocation::Kurtosis { avg_rank: scale_rank(16, 4096, d_model) },
+    )
+}
+
+/// Mixtral MiLo-s2: `Dense-1024 + Kurtosis-32` (paper Table 5), scaled.
+pub fn mixtral_s2(d_model: usize) -> RankPolicy {
+    RankPolicy::composite(
+        scale_rank(1024, 4096, d_model),
+        SparseAllocation::Kurtosis { avg_rank: scale_rank(32, 4096, d_model) },
+    )
+}
+
+/// DeepSeek MiLo-s1: `Dense-800` (paper Table 5), scaled.
+pub fn deepseek_s1(d_model: usize) -> RankPolicy {
+    RankPolicy::dense_only(scale_rank(800, 2048, d_model))
+}
+
+/// DeepSeek MiLo-s2: `Dense-1024 + Frequency-32` (paper Table 5), scaled.
+pub fn deepseek_s2(d_model: usize) -> RankPolicy {
+    RankPolicy::composite(
+        scale_rank(1024, 2048, d_model),
+        SparseAllocation::Frequency { avg_rank: scale_rank(32, 2048, d_model) },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_proportional_with_floor() {
+        assert_eq!(scale_rank(512, 4096, 256), 32);
+        assert_eq!(scale_rank(1024, 4096, 256), 64);
+        assert_eq!(scale_rank(16, 4096, 256), 2); // floored from 1
+        assert_eq!(scale_rank(0, 4096, 256), 0);
+        assert_eq!(scale_rank(512, 4096, 4096), 512); // identity at full size
+    }
+
+    #[test]
+    fn s2_is_strictly_larger_than_s1() {
+        let s1 = mixtral_s1(256);
+        let s2 = mixtral_s2(256);
+        assert!(s2.dense_rank > s1.dense_rank);
+        let avg = |p: &RankPolicy| match p.sparse {
+            SparseAllocation::Kurtosis { avg_rank } => avg_rank,
+            _ => 0,
+        };
+        assert!(avg(&s2) >= avg(&s1));
+    }
+
+    #[test]
+    fn deepseek_s1_is_dense_only() {
+        let p = deepseek_s1(192);
+        assert!(matches!(p.sparse, SparseAllocation::None));
+        assert_eq!(p.dense_rank, 75);
+    }
+
+    #[test]
+    fn deepseek_s2_uses_frequency() {
+        let p = deepseek_s2(192);
+        assert!(matches!(p.sparse, SparseAllocation::Frequency { .. }));
+    }
+}

@@ -1,0 +1,219 @@
+//! `milo-cli` — the command-line workflow of the reproduction, mirroring
+//! the paper artifact's scripts (Appendix F):
+//!
+//! ```bash
+//! # Synthesize a reference model (stands in for downloading a checkpoint).
+//! milo-cli synth --model mixtral --scale 0.5 --out ref.moem
+//!
+//! # Quantize it (the artifact's MiLo_quant_main.py with --dense_rank /
+//! # --sparse_rank):
+//! milo-cli quantize --model ref.moem --method milo --dense-rank 16 --sparse-rank 2 \
+//!     --out compressed.milo
+//!
+//! # Evaluate perplexity + proxy tasks, optionally writing eval_result.json:
+//! milo-cli eval --model ref.moem --compressed compressed.milo --json eval_result.json
+//!
+//! # Inspect a compressed model:
+//! milo-cli info --compressed compressed.milo
+//! ```
+
+use milo_bench::methods::{run_gptq_full, run_milo, run_rtn};
+use milo_bench::Args;
+use milo_core::serialize::{load_compressed_model, save_compressed_model};
+use milo_core::{MiloOptions, RankPolicy, SparseAllocation};
+use milo_eval::report::Json;
+use milo_eval::{generate_corpus, EvalConfig, EvalContext, Table};
+use milo_moe::serialize::{load_model, save_model};
+use milo_moe::{apply_compressed, profile_expert_frequency, MoeConfig, MoeModel};
+use milo_quant::QuantConfig;
+use std::path::Path;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: milo-cli <command> [flags]\n\
+         commands:\n  \
+         synth     --model mixtral|deepseek [--scale f] [--layers n] [--seed n] --out FILE\n  \
+         quantize  --model FILE --method milo|hqq|rtn|gptq [--dense-rank n] [--sparse-rank n]\n            \
+                   [--sparse-policy uniform|kurtosis|frequency] [--iters n] --out FILE\n  \
+         eval      --model FILE --compressed FILE [--json FILE]\n  \
+         info      --compressed FILE"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return usage();
+    }
+    let command = argv.remove(0);
+    let args = Args::from_iter(argv);
+    let result = match command.as_str() {
+        "synth" => cmd_synth(&args),
+        "quantize" => cmd_quantize(&args),
+        "eval" => cmd_eval(&args),
+        "info" => cmd_info(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+type CliError = Box<dyn std::error::Error + Send + Sync>;
+
+fn required<'a>(args: &'a Args, name: &str) -> Result<&'a str, CliError> {
+    args.get(name).ok_or_else(|| format!("missing required flag --{name}").into())
+}
+
+fn cmd_synth(args: &Args) -> Result<(), CliError> {
+    let kind = required(args, "model")?;
+    let scale = args.get_f32("scale").unwrap_or(1.0);
+    let seed = args.get_u64("seed").unwrap_or(2025);
+    let out = required(args, "out")?;
+    let mut cfg = match kind {
+        "mixtral" => MoeConfig::mixtral_like(),
+        "deepseek" => MoeConfig::deepseek_like(),
+        other => return Err(format!("unknown model kind {other}").into()),
+    }
+    .scaled(scale);
+    if let Some(layers) = args.get_u64("layers") {
+        cfg.n_layers = layers as usize;
+    }
+    let model = MoeModel::synthesize(&cfg, seed);
+    save_model(Path::new(out), &model)?;
+    println!(
+        "synthesized {} ({} quantizable params, {:.2} MB FP16) -> {out}",
+        cfg.name,
+        cfg.quantizable_params(),
+        cfg.fp16_bytes() as f64 / 1e6
+    );
+    Ok(())
+}
+
+fn cmd_quantize(args: &Args) -> Result<(), CliError> {
+    let model_path = required(args, "model")?;
+    let method = required(args, "method")?;
+    let out = required(args, "out")?;
+    let reference = load_model(Path::new(model_path))?;
+    let seed = args.get_u64("seed").unwrap_or(2025);
+    let threads = std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4);
+
+    let outcome = match method {
+        "rtn" => run_rtn(&reference, &QuantConfig::int3_asym())?,
+        "gptq" => {
+            let calib = generate_corpus(&reference, 40, 48, seed ^ 0xca11b)?;
+            run_gptq_full(&reference, &QuantConfig::int3_asym(), &calib, seed)?
+        }
+        "hqq" | "milo" => {
+            let policy = if method == "hqq" {
+                RankPolicy::uniform(0)
+            } else {
+                let dense = args.get_u64("dense-rank").unwrap_or(16) as usize;
+                let sparse = args.get_u64("sparse-rank").unwrap_or(2) as usize;
+                let sparse_alloc = match args.get("sparse-policy").unwrap_or("kurtosis") {
+                    "uniform" => SparseAllocation::Uniform(sparse),
+                    "kurtosis" => SparseAllocation::Kurtosis { avg_rank: sparse },
+                    "frequency" => SparseAllocation::Frequency { avg_rank: sparse },
+                    other => return Err(format!("unknown sparse policy {other}").into()),
+                };
+                RankPolicy::composite(dense, sparse_alloc)
+            };
+            let corpus = generate_corpus(&reference, 10, 32, seed ^ 0xf3e9)?;
+            let profile = profile_expert_frequency(&reference, &corpus)?;
+            let iters = args.get_u64("iters").unwrap_or(20) as usize;
+            let opts = MiloOptions { max_iters: iters, ..MiloOptions::default() };
+            run_milo(&reference, Some(&profile), &policy, &opts, threads)?
+        }
+        other => return Err(format!("unknown method {other}").into()),
+    };
+    save_compressed_model(Path::new(out), &outcome.compressed)?;
+    println!(
+        "{method}: {:.2} MB compressed ({:.1}% of FP16), quantization took {:.1}s -> {out}",
+        outcome.memory_bytes as f64 / 1e6,
+        100.0 * outcome.memory_bytes as f64 / reference.config.fp16_bytes() as f64,
+        outcome.seconds
+    );
+    Ok(())
+}
+
+fn cmd_eval(args: &Args) -> Result<(), CliError> {
+    let model_path = required(args, "model")?;
+    let compressed_path = required(args, "compressed")?;
+    let reference = load_model(Path::new(model_path))?;
+    let compressed = load_compressed_model(Path::new(compressed_path))?;
+    let candidate = apply_compressed(&reference, &compressed)?;
+
+    let cfg = EvalConfig {
+        n_seqs: args.get_u64("seqs").unwrap_or(16) as usize,
+        seq_len: args.get_u64("seq-len").unwrap_or(24) as usize,
+        corpus_seed: args.get_u64("seed").unwrap_or(2024),
+        task_prompts: args.get_u64("prompts").unwrap_or(32) as usize,
+    };
+    eprintln!("preparing evaluation context...");
+    let ctx = EvalContext::prepare(&reference, &cfg)?;
+    let result = ctx.evaluate("compressed", &candidate, compressed.memory_bytes(), 0.0)?;
+
+    let mut t = Table::new(["metric", "value"]);
+    t.push_row(["memory (MB)".to_string(), format!("{:.2}", result.memory_bytes as f64 / 1e6)]);
+    t.push_row(["perplexity".to_string(), format!("{:.4}", result.ppl)]);
+    for (task, score) in &result.task_scores {
+        t.push_row([format!("{task} (%)"), format!("{score:.2}")]);
+    }
+    t.push_row(["zero-shot avg (%)".to_string(), format!("{:.2}", result.zero_shot_avg())]);
+    println!("{}", t.render());
+
+    if let Some(json_path) = args.get("json") {
+        let json = Json::Obj(vec![
+            ("memory_bytes".into(), Json::Num(result.memory_bytes as f64)),
+            ("perplexity".into(), Json::Num(result.ppl as f64)),
+            (
+                "tasks".into(),
+                Json::Obj(
+                    result
+                        .task_scores
+                        .iter()
+                        .map(|(n, s)| (n.clone(), Json::Num(*s as f64)))
+                        .collect(),
+                ),
+            ),
+            ("zero_shot_avg".into(), Json::Num(result.zero_shot_avg() as f64)),
+        ]);
+        std::fs::write(json_path, json.render())?;
+        println!("wrote {json_path}");
+    }
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), CliError> {
+    let compressed_path = required(args, "compressed")?;
+    let compressed = load_compressed_model(Path::new(compressed_path))?;
+    println!(
+        "{} layers, {:.2} MB total ({:.2} MB weights + {:.2} MB compensators)",
+        compressed.layers.len(),
+        compressed.memory_bytes() as f64 / 1e6,
+        compressed.weight_bytes() as f64 / 1e6,
+        compressed.compensator_bytes() as f64 / 1e6,
+    );
+    let mut t = Table::new(["layer", "shape", "rank", "bytes", "iters"]);
+    let show = compressed.layers.len().min(12);
+    for rec in &compressed.layers[..show] {
+        t.push_row([
+            rec.name.clone(),
+            format!("{}x{}", rec.meta.rows, rec.meta.cols),
+            rec.rank.to_string(),
+            rec.layer.memory_bytes().to_string(),
+            rec.layer.iterations().to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    if compressed.layers.len() > show {
+        println!("... and {} more layers", compressed.layers.len() - show);
+    }
+    Ok(())
+}

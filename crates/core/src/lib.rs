@@ -1,0 +1,93 @@
+//! MiLo core: iterative joint optimization of extreme-quantized weights
+//! and a mixture of low-rank compensators.
+//!
+//! This crate implements the paper's primary contribution (§3.2):
+//!
+//! * [`compensator`] — low-rank compensators `U·V ≈ W − W_dq` built from a
+//!   truncated SVD of the quantization residual (Eqs. 10–12), optionally
+//!   quantized to INT3/INT8 themselves (Eq. 15, §3.2.6).
+//! * [`optimizer`] — Algorithm 1: alternate the HQQ zero-point solve on
+//!   `W − U·V` (sub-problem 1, §3.2.2) with the SVD compensator update on
+//!   `W − W_dq` (sub-problem 2, §3.2.3), monitored by the sliding-window
+//!   stop condition on the Frobenius error (Eqs. 13–14).
+//! * [`policy`] — the adaptive rank-selection policies of §3.2.5
+//!   (Uniform/Dense/Sparse/Frequency/Kurtosis and the composite s1/s2
+//!   strategies of Table 5), driven by layer structure, expert activation
+//!   frequency, and weight kurtosis.
+//! * [`model`] — the model-level orchestrator that applies a policy
+//!   across a list of layers, compressing them in parallel.
+
+#![warn(missing_docs)]
+
+pub mod compensator;
+pub mod model;
+pub mod optimizer;
+pub mod policy;
+pub mod serialize;
+
+pub use compensator::{Compensator, LowRankCompensator, QuantizedCompensator};
+pub use model::{compress_model, CompressedModel, LayerRecord, LayerTensor};
+pub use optimizer::{milo_compress, CompressedLayer, MiloOptions};
+pub use policy::{LayerKind, LayerMeta, RankPolicy, SparseAllocation};
+pub use serialize::{load_compressed_model, save_compressed_model};
+
+use milo_quant::QuantError;
+use milo_tensor::TensorError;
+
+/// Errors produced by the MiLo pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiloError {
+    /// A quantizer failed.
+    Quant(QuantError),
+    /// A linear-algebra routine failed.
+    Tensor(TensorError),
+    /// The requested rank is incompatible with the layer shape.
+    InvalidRank {
+        /// The rank that was requested.
+        rank: usize,
+        /// Rows of the offending matrix.
+        rows: usize,
+        /// Columns of the offending matrix.
+        cols: usize,
+    },
+    /// Policy assignment failed (e.g. no layers, or metadata missing).
+    Policy(String),
+}
+
+impl std::fmt::Display for MiloError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MiloError::Quant(e) => write!(f, "quantization failed: {e}"),
+            MiloError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+            MiloError::InvalidRank { rank, rows, cols } => {
+                write!(f, "rank {rank} invalid for a {rows}x{cols} layer")
+            }
+            MiloError::Policy(msg) => write!(f, "rank policy error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MiloError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MiloError::Quant(e) => Some(e),
+            MiloError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<QuantError> for MiloError {
+    fn from(e: QuantError) -> Self {
+        MiloError::Quant(e)
+    }
+}
+
+impl From<TensorError> for MiloError {
+    fn from(e: TensorError) -> Self {
+        MiloError::Tensor(e)
+    }
+}
+
+/// Convenient result alias for MiLo operations.
+pub type Result<T> = std::result::Result<T, MiloError>;

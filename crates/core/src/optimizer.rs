@@ -1,0 +1,331 @@
+//! Algorithm 1: the MiLo iterative optimizer (paper §3.2.1–§3.2.4).
+//!
+//! The joint problem (Eq. 1) is split into two sub-problems solved
+//! alternately:
+//!
+//! * **sp1** — with `U, V` fixed, quantize the *compensated target*
+//!   `W − U·V` with the HQQ zero-point solver (§3.2.2, Eqs. 4–9);
+//! * **sp2** — with `W_q` fixed, refit the compensator to the fresh
+//!   residual `E = W − W_dq` by truncated SVD (§3.2.3, Eqs. 10–12).
+//!
+//! After each outer iteration the Frobenius error
+//! `ε_t = ‖W − W_dq − U·V‖_F` (Eq. 13) is recorded; a sliding-window
+//! average over three iterations drives the relative-improvement stop
+//! condition (Eq. 14), with a hard early stop at 20 iterations and a
+//! divergence guard, exactly as §3.2.4 describes.
+
+use crate::compensator::{Compensator, LowRankCompensator};
+use crate::{MiloError, Result};
+use milo_quant::{hqq_quantize, HqqOptions, QuantConfig, QuantizedMatrix};
+use milo_tensor::Matrix;
+
+/// Options of the MiLo optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MiloOptions {
+    /// Weight quantizer configuration (the paper uses INT3, group 64,
+    /// asymmetric).
+    pub quant: QuantConfig,
+    /// Inner HQQ solver options.
+    pub hqq: HqqOptions,
+    /// Hard cap on outer iterations — the paper's early stop at 20.
+    pub max_iters: usize,
+    /// Sliding-window width for the stop condition (the paper uses 3).
+    pub window: usize,
+    /// Relative improvement threshold of Eq. 14 (the paper uses 1e-4).
+    pub rel_tol: f32,
+    /// Compensator quantization applied after convergence; `None` keeps
+    /// the factors in FP16.
+    pub compensator_cfg: Option<QuantConfig>,
+    /// Seed for the randomized SVD sketches.
+    pub seed: u64,
+}
+
+impl Default for MiloOptions {
+    /// Paper defaults: INT3 asymmetric group-64 weights, HQQ defaults,
+    /// early stop at 20 outer iterations, window 3, tolerance 1e-4, and
+    /// INT3 symmetric compensators (Eq. 15).
+    fn default() -> Self {
+        Self {
+            quant: QuantConfig::int3_asym(),
+            hqq: HqqOptions::default(),
+            max_iters: 20,
+            window: 3,
+            rel_tol: 1e-4,
+            compensator_cfg: Some(QuantConfig::int3_sym()),
+            seed: 0,
+        }
+    }
+}
+
+/// The output of MiLo on a single weight matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedLayer {
+    /// The quantized weight `W_q` with its per-group scales/zero-points.
+    pub qweight: QuantizedMatrix,
+    /// The compensator, or `None` when the assigned rank was 0.
+    pub compensator: Option<Compensator>,
+    /// The Frobenius error `ε_t` after each outer iteration (Eq. 13) —
+    /// the series plotted in paper Fig. 7.
+    pub convergence: Vec<f32>,
+}
+
+impl CompressedLayer {
+    /// Reconstructs the effective weight `Q⁻¹(W_q) + U·V` seen by
+    /// inference (paper §3.1.2).
+    pub fn effective_weight(&self) -> Matrix {
+        let mut w = self.qweight.dequantize();
+        if let Some(comp) = &self.compensator {
+            w = w.add(&comp.to_dense()).expect("compensator matches weight shape");
+        }
+        w
+    }
+
+    /// Deployment memory in bytes: packed quantized weight plus the
+    /// compensator representation.
+    pub fn memory_bytes(&self) -> usize {
+        self.qweight.packed_bytes()
+            + self.compensator.as_ref().map_or(0, |c| c.memory_bytes())
+    }
+
+    /// Number of outer iterations the optimizer ran.
+    pub fn iterations(&self) -> usize {
+        self.convergence.len()
+    }
+}
+
+/// Runs MiLo (Algorithm 1) on one weight matrix with the given
+/// compensator rank.
+///
+/// `rank == 0` degenerates to plain HQQ quantization with no compensator,
+/// which is how rank policies express "no compensation for this layer".
+///
+/// # Examples
+///
+/// ```
+/// use milo_core::{milo_compress, MiloOptions};
+/// use milo_tensor::{rng::WeightDist, stats};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(64, 64, &mut rng);
+/// let opts = MiloOptions { max_iters: 2, ..MiloOptions::default() };
+///
+/// let plain = milo_compress(&w, 0, &opts)?; // HQQ only
+/// let milo = milo_compress(&w, 8, &opts)?;  // + rank-8 compensator
+/// let err = |l: &milo_core::CompressedLayer| {
+///     stats::relative_frobenius_error(&w, &l.effective_weight())
+/// };
+/// assert!(err(&milo) < err(&plain));
+/// # Ok::<(), milo_core::MiloError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`MiloError::InvalidRank`] if `rank` exceeds the matrix
+/// dimensions, and propagates quantizer/SVD failures.
+pub fn milo_compress(w: &Matrix, rank: usize, opts: &MiloOptions) -> Result<CompressedLayer> {
+    let (rows, cols) = w.shape();
+    if rank > rows.min(cols) {
+        return Err(MiloError::InvalidRank { rank, rows, cols });
+    }
+
+    if rank == 0 {
+        let qweight = hqq_quantize(w, &opts.quant, &opts.hqq)?;
+        let residual = w.sub(&qweight.dequantize())?;
+        return Ok(CompressedLayer {
+            qweight,
+            compensator: None,
+            convergence: vec![residual.frobenius_norm()],
+        });
+    }
+
+    // U, V initialized to zero (paper §3.2.2): iteration 0 quantizes the
+    // raw weight.
+    let mut compensator: Option<LowRankCompensator> = None;
+    let mut best: Option<(f32, QuantizedMatrix, LowRankCompensator)> = None;
+    let mut history: Vec<f32> = Vec::new();
+
+    for t in 0..opts.max_iters.max(1) {
+        // sp1: quantize the compensated target W - U·V.
+        let target = match &compensator {
+            Some(c) => w.sub(&c.to_dense())?,
+            None => w.clone(),
+        };
+        let qweight = hqq_quantize(&target, &opts.quant, &opts.hqq)?;
+        let w_dq = qweight.dequantize();
+
+        // sp2: refit the compensator to the fresh residual.
+        let residual = w.sub(&w_dq)?;
+        let new_comp =
+            LowRankCompensator::fit(&residual, rank, opts.seed.wrapping_add(t as u64))?;
+
+        // ε_t = ‖W − W_dq − U·V‖_F (Eq. 13).
+        let eps = residual.sub(&new_comp.to_dense())?.frobenius_norm();
+        history.push(eps);
+        if best.as_ref().map_or(true, |(b, _, _)| eps < *b) {
+            best = Some((eps, qweight, new_comp.clone()));
+        }
+        compensator = Some(new_comp);
+
+        // Sliding-window stop condition (Eq. 14): compare consecutive
+        // window averages once enough history exists.
+        let win = opts.window.max(1);
+        if history.len() > win {
+            let avg = |s: &[f32]| s.iter().sum::<f32>() / s.len() as f32;
+            let curr = avg(&history[history.len() - win..]);
+            let prev = avg(&history[history.len() - win - 1..history.len() - 1]);
+            if prev > 0.0 && (prev - curr) / prev < opts.rel_tol {
+                break;
+            }
+        }
+        // Divergence guard (§3.2.4 "stops the process if the error begins
+        // to diverge"): two consecutive increases abort the loop; the
+        // best-so-far iterate is returned.
+        if history.len() >= 3 {
+            let n = history.len();
+            if history[n - 1] > history[n - 2] && history[n - 2] > history[n - 3] {
+                break;
+            }
+        }
+    }
+
+    let (_, qweight, comp) = best.expect("at least one iteration ran");
+    let compensator = match &opts.compensator_cfg {
+        Some(cfg) => Compensator::Quantized(comp.quantize(cfg)?),
+        None => Compensator::Fp16(comp),
+    };
+    Ok(CompressedLayer { qweight, compensator: Some(compensator), convergence: history })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_tensor::rng::WeightDist;
+    use milo_tensor::stats;
+    use rand::SeedableRng;
+
+    fn heavy(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        WeightDist::StudentT { dof: 5.0, scale: 0.05 }.sample_matrix(rows, cols, &mut rng)
+    }
+
+    fn opts_fast() -> MiloOptions {
+        MiloOptions { max_iters: 6, compensator_cfg: None, ..MiloOptions::default() }
+    }
+
+    #[test]
+    fn milo_beats_plain_hqq() {
+        let w = heavy(64, 64, 1);
+        let plain = milo_compress(&w, 0, &opts_fast()).unwrap();
+        let milo = milo_compress(&w, 8, &opts_fast()).unwrap();
+        let e_plain = stats::relative_frobenius_error(&w, &plain.effective_weight());
+        let e_milo = stats::relative_frobenius_error(&w, &milo.effective_weight());
+        assert!(
+            e_milo < e_plain,
+            "MiLo error {e_milo} should beat plain HQQ {e_plain}"
+        );
+    }
+
+    #[test]
+    fn iteration_beats_one_shot() {
+        // The iterative alternation (Fig. 7's point) should end at a lower
+        // ε than quantize-then-compensate once.
+        let w = heavy(64, 64, 2);
+        let one_shot =
+            milo_compress(&w, 8, &MiloOptions { max_iters: 1, ..opts_fast() }).unwrap();
+        let iterated =
+            milo_compress(&w, 8, &MiloOptions { max_iters: 10, ..opts_fast() }).unwrap();
+        let last = |l: &CompressedLayer| *l.convergence.last().unwrap();
+        assert!(
+            iterated.convergence.iter().cloned().fold(f32::INFINITY, f32::min)
+                <= last(&one_shot) + 1e-6,
+            "iterated best {:?} vs one-shot {}",
+            iterated.convergence,
+            last(&one_shot)
+        );
+    }
+
+    #[test]
+    fn convergence_history_trends_down() {
+        let w = heavy(64, 64, 3);
+        let milo = milo_compress(&w, 8, &MiloOptions { max_iters: 10, ..opts_fast() }).unwrap();
+        let first = milo.convergence[0];
+        let best = milo.convergence.iter().cloned().fold(f32::INFINITY, f32::min);
+        assert!(best <= first, "history {:?}", milo.convergence);
+    }
+
+    #[test]
+    fn rank_zero_has_no_compensator() {
+        let w = heavy(32, 32, 4);
+        let out = milo_compress(&w, 0, &opts_fast()).unwrap();
+        assert!(out.compensator.is_none());
+        assert_eq!(out.convergence.len(), 1);
+    }
+
+    #[test]
+    fn excessive_rank_rejected() {
+        let w = heavy(8, 8, 5);
+        assert!(matches!(
+            milo_compress(&w, 9, &opts_fast()),
+            Err(MiloError::InvalidRank { .. })
+        ));
+    }
+
+    #[test]
+    fn early_stop_respects_max_iters() {
+        let w = heavy(32, 32, 6);
+        let out = milo_compress(&w, 4, &MiloOptions { max_iters: 3, ..opts_fast() }).unwrap();
+        assert!(out.iterations() <= 3);
+    }
+
+    #[test]
+    fn quantized_compensator_variant_is_produced() {
+        let w = heavy(64, 64, 7);
+        let opts = MiloOptions {
+            max_iters: 3,
+            compensator_cfg: Some(QuantConfig::int3_sym()),
+            ..MiloOptions::default()
+        };
+        let out = milo_compress(&w, 8, &opts).unwrap();
+        assert!(matches!(out.compensator, Some(Compensator::Quantized(_))));
+    }
+
+    #[test]
+    fn memory_grows_with_rank() {
+        let w = heavy(64, 64, 8);
+        let a = milo_compress(&w, 4, &opts_fast()).unwrap();
+        let b = milo_compress(&w, 16, &opts_fast()).unwrap();
+        assert!(b.memory_bytes() > a.memory_bytes());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let w = heavy(32, 32, 9);
+        let a = milo_compress(&w, 4, &opts_fast()).unwrap();
+        let b = milo_compress(&w, 4, &opts_fast()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn attention_like_layers_gain_more_than_expert_like() {
+        // Paper Observation 2: heavy-tailed (high-kurtosis) weights suffer
+        // more under INT3 and hence benefit more from compensation.
+        let attn = heavy(64, 64, 10); // Student-t, heavy tails
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let expert = WeightDist::Uniform { bound: 0.1 }.sample_matrix(64, 64, &mut rng);
+
+        let gain = |w: &Matrix| {
+            let plain = milo_compress(w, 0, &opts_fast()).unwrap();
+            let milo = milo_compress(w, 8, &opts_fast()).unwrap();
+            let e0 = stats::relative_frobenius_error(w, &plain.effective_weight());
+            let e1 = stats::relative_frobenius_error(w, &milo.effective_weight());
+            (e0 - e1) / e0
+        };
+        assert!(
+            gain(&attn) > gain(&expert),
+            "attention gain {} should exceed expert gain {}",
+            gain(&attn),
+            gain(&expert)
+        );
+    }
+}

@@ -1,0 +1,275 @@
+//! Binary serialization of compressed models — the "save the quantized
+//! model to `<YOUR_DIR>`" workflow of the paper's artifact (Appendix F).
+//!
+//! Format (all little endian): a `MILO` magic + version, then the layer
+//! records. Each record carries its name, policy metadata, rank, the
+//! quantized weight (via `milo-quant`'s format), an optional compensator
+//! (FP32 factors or quantized factors), and the convergence history.
+
+use crate::compensator::{Compensator, LowRankCompensator, QuantizedCompensator};
+use crate::model::{CompressedModel, LayerRecord};
+use crate::optimizer::CompressedLayer;
+use crate::policy::{LayerKind, LayerMeta};
+use milo_quant::serialize::{read_quantized, write_quantized};
+use milo_tensor::io::{
+    expect_tag, read_f32, read_f32_vec, read_matrix, read_string, read_u32, read_u64,
+    write_f32, write_f32_slice, write_matrix, write_string, write_tag, write_u32, write_u64,
+};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"MILO";
+const VERSION: u32 = 1;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_kind(w: &mut impl Write, kind: LayerKind) -> io::Result<()> {
+    match kind {
+        LayerKind::Attention => write_u32(w, 0),
+        LayerKind::DenseFfn => write_u32(w, 1),
+        LayerKind::SharedExpert => write_u32(w, 2),
+        LayerKind::Expert { index } => {
+            write_u32(w, 3)?;
+            write_u64(w, index as u64)
+        }
+    }
+}
+
+fn read_kind(r: &mut impl Read) -> io::Result<LayerKind> {
+    Ok(match read_u32(r)? {
+        0 => LayerKind::Attention,
+        1 => LayerKind::DenseFfn,
+        2 => LayerKind::SharedExpert,
+        3 => LayerKind::Expert { index: read_u64(r)? as usize },
+        other => return Err(invalid(format!("unknown layer kind tag {other}"))),
+    })
+}
+
+fn write_compensator(w: &mut impl Write, c: &Compensator) -> io::Result<()> {
+    match c {
+        Compensator::Fp16(lr) => {
+            write_u32(w, 0)?;
+            write_matrix(w, lr.u())?;
+            write_matrix(w, lr.v())
+        }
+        Compensator::Quantized(q) => {
+            write_u32(w, 1)?;
+            write_quantized(w, q.u())?;
+            write_quantized(w, q.v())
+        }
+    }
+}
+
+fn read_compensator(r: &mut impl Read) -> io::Result<Compensator> {
+    Ok(match read_u32(r)? {
+        0 => {
+            let u = read_matrix(r)?;
+            let v = read_matrix(r)?;
+            Compensator::Fp16(
+                LowRankCompensator::from_factors(u, v)
+                    .map_err(|e| invalid(e.to_string()))?,
+            )
+        }
+        1 => {
+            let u = read_quantized(r)?;
+            let v = read_quantized(r)?;
+            Compensator::Quantized(
+                QuantizedCompensator::from_factors(u, v)
+                    .map_err(|e| invalid(e.to_string()))?,
+            )
+        }
+        other => return Err(invalid(format!("unknown compensator tag {other}"))),
+    })
+}
+
+/// Writes a compressed model to a binary stream.
+///
+/// # Errors
+///
+/// Propagates IO failures.
+pub fn write_compressed_model(w: &mut impl Write, model: &CompressedModel) -> io::Result<()> {
+    write_tag(w, MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_u64(w, model.layers.len() as u64)?;
+    for rec in &model.layers {
+        write_string(w, &rec.name)?;
+        write_kind(w, rec.meta.kind)?;
+        write_u64(w, rec.meta.rows as u64)?;
+        write_u64(w, rec.meta.cols as u64)?;
+        write_f32(w, rec.meta.kurtosis)?;
+        write_f32(w, rec.meta.frequency)?;
+        write_u64(w, rec.rank as u64)?;
+        write_quantized(w, &rec.layer.qweight)?;
+        match &rec.layer.compensator {
+            Some(c) => {
+                write_u32(w, 1)?;
+                write_compensator(w, c)?;
+            }
+            None => write_u32(w, 0)?,
+        }
+        write_f32_slice(w, &rec.layer.convergence)?;
+    }
+    Ok(())
+}
+
+/// Reads a compressed model from a binary stream.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed input or unsupported versions.
+pub fn read_compressed_model(r: &mut impl Read) -> io::Result<CompressedModel> {
+    expect_tag(r, MAGIC)?;
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(invalid(format!("unsupported format version {version}")));
+    }
+    let n = read_u64(r)? as usize;
+    if n > 1 << 24 {
+        return Err(invalid(format!("layer count {n} exceeds sanity limit")));
+    }
+    let mut layers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name = read_string(r)?;
+        let kind = read_kind(r)?;
+        let rows = read_u64(r)? as usize;
+        let cols = read_u64(r)? as usize;
+        let kurtosis = read_f32(r)?;
+        let frequency = read_f32(r)?;
+        let rank = read_u64(r)? as usize;
+        let qweight = read_quantized(r)?;
+        if qweight.shape() != (rows, cols) {
+            return Err(invalid(format!(
+                "layer {name}: metadata says {rows}x{cols}, weight is {:?}",
+                qweight.shape()
+            )));
+        }
+        let compensator = match read_u32(r)? {
+            0 => None,
+            1 => Some(read_compensator(r)?),
+            other => return Err(invalid(format!("bad compensator presence tag {other}"))),
+        };
+        let convergence = read_f32_vec(r)?;
+        layers.push(LayerRecord {
+            name,
+            meta: LayerMeta { kind, rows, cols, kurtosis, frequency },
+            rank,
+            layer: CompressedLayer { qweight, compensator, convergence },
+        });
+    }
+    Ok(CompressedModel { layers })
+}
+
+/// Saves a compressed model to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization failures.
+pub fn save_compressed_model(path: &std::path::Path, model: &CompressedModel) -> io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_compressed_model(&mut file, model)
+}
+
+/// Loads a compressed model from a file.
+///
+/// # Errors
+///
+/// Propagates filesystem and deserialization failures.
+pub fn load_compressed_model(path: &std::path::Path) -> io::Result<CompressedModel> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_compressed_model(&mut file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{compress_model, LayerTensor};
+    use crate::optimizer::MiloOptions;
+    use crate::policy::RankPolicy;
+    use milo_tensor::rng::WeightDist;
+    use rand::SeedableRng;
+    use std::io::Cursor;
+
+    fn sample_model(compensator_cfg: Option<milo_quant::QuantConfig>) -> CompressedModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let layers: Vec<LayerTensor> = (0..3)
+            .map(|i| {
+                let w =
+                    WeightDist::Gaussian { std: 0.08 }.sample_matrix(48, 64, &mut rng);
+                LayerTensor {
+                    name: format!("layer0.expert{i}.w1"),
+                    meta: LayerMeta {
+                        kind: LayerKind::Expert { index: i },
+                        rows: 48,
+                        cols: 64,
+                        kurtosis: 0.1 * i as f32,
+                        frequency: 0.3,
+                    },
+                    weight: w,
+                }
+            })
+            .collect();
+        let opts = MiloOptions { max_iters: 1, compensator_cfg, ..MiloOptions::default() };
+        compress_model(&layers, &RankPolicy::uniform(4), &opts, 1).unwrap()
+    }
+
+    #[test]
+    fn round_trip_with_quantized_compensators() {
+        let model = sample_model(Some(milo_quant::QuantConfig::int3_sym()));
+        let mut buf = Vec::new();
+        write_compressed_model(&mut buf, &model).unwrap();
+        let out = read_compressed_model(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(out.layers.len(), model.layers.len());
+        for (a, b) in out.layers.iter().zip(&model.layers) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.rank, b.rank);
+            assert_eq!(a.layer, b.layer);
+            assert_eq!(a.meta, b.meta);
+        }
+    }
+
+    #[test]
+    fn round_trip_with_fp32_compensators() {
+        let model = sample_model(None);
+        let mut buf = Vec::new();
+        write_compressed_model(&mut buf, &model).unwrap();
+        let out = read_compressed_model(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(out.layers[0].layer, model.layers[0].layer);
+    }
+
+    #[test]
+    fn effective_weights_survive_serialization() {
+        let model = sample_model(Some(milo_quant::QuantConfig::int3_sym()));
+        let mut buf = Vec::new();
+        write_compressed_model(&mut buf, &model).unwrap();
+        let out = read_compressed_model(&mut Cursor::new(buf)).unwrap();
+        for (a, b) in out.layers.iter().zip(&model.layers) {
+            assert_eq!(a.layer.effective_weight(), b.layer.effective_weight());
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let model = sample_model(None);
+        let mut buf = Vec::new();
+        write_compressed_model(&mut buf, &model).unwrap();
+        let mut bad_magic = buf.clone();
+        bad_magic[0] = b'X';
+        assert!(read_compressed_model(&mut Cursor::new(bad_magic)).is_err());
+        let mut bad_version = buf.clone();
+        bad_version[4] = 99;
+        assert!(read_compressed_model(&mut Cursor::new(bad_version)).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let model = sample_model(Some(milo_quant::QuantConfig::int3_sym()));
+        let dir = std::env::temp_dir().join("milo_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.milo");
+        save_compressed_model(&path, &model).unwrap();
+        let out = load_compressed_model(&path).unwrap();
+        assert_eq!(out.layers.len(), model.layers.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

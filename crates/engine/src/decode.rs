@@ -1,0 +1,182 @@
+//! KV-cached incremental decoding on packed weights — the decode loop a
+//! real MiLo serving backend runs: one token per step, O(prefix) work,
+//! all projections through the packed INT3 path.
+
+use crate::model::PackedMoeModel;
+use crate::{EngineError, Result};
+use milo_moe::attention::rms_norm;
+use milo_tensor::Matrix;
+
+/// Per-layer key/value caches for one packed decoding stream.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PackedDecodeState {
+    kv: Vec<(Vec<f32>, Vec<f32>)>,
+    seen: usize,
+}
+
+impl PackedDecodeState {
+    /// Creates an empty state for `model`.
+    pub fn new(model: &PackedMoeModel) -> Self {
+        Self { kv: vec![(Vec::new(), Vec::new()); model.n_layers()], seen: 0 }
+    }
+
+    /// Number of tokens processed so far.
+    pub fn len(&self) -> usize {
+        self.seen
+    }
+
+    /// Whether no tokens have been processed yet.
+    pub fn is_empty(&self) -> bool {
+        self.seen == 0
+    }
+}
+
+/// Causal attention of one new query row against cached keys/values
+/// (same math as `milo_moe::decode`, kept local to avoid exposing the
+/// cache layout across crates).
+fn attend_step(q: &[f32], keys: &[f32], values: &[f32], n_heads: usize, d: usize) -> Vec<f32> {
+    let seen = keys.len() / d;
+    let hd = d / n_heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut ctx = vec![0.0f32; d];
+    for h in 0..n_heads {
+        let off = h * hd;
+        let mut scores = Vec::with_capacity(seen);
+        let mut max_s = f32::NEG_INFINITY;
+        for j in 0..seen {
+            let mut s = 0.0;
+            for c in 0..hd {
+                s += q[off + c] * keys[j * d + off + c];
+            }
+            let s = s * scale;
+            max_s = max_s.max(s);
+            scores.push(s);
+        }
+        let mut denom = 0.0;
+        for s in &mut scores {
+            *s = (*s - max_s).exp();
+            denom += *s;
+        }
+        for (j, s) in scores.iter().enumerate() {
+            let w = s / denom;
+            for c in 0..hd {
+                ctx[off + c] += w * values[j * d + off + c];
+            }
+        }
+    }
+    ctx
+}
+
+impl PackedMoeModel {
+    /// Processes one token incrementally through the packed projections,
+    /// returning this position's logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Run`] for invalid tokens or a state built
+    /// for a different model.
+    pub fn forward_step(
+        &self,
+        token: u32,
+        state: &mut PackedDecodeState,
+    ) -> Result<Vec<f32>> {
+        if token as usize >= self.vocab() {
+            return Err(EngineError::Run(format!("token {token} out of vocabulary")));
+        }
+        if state.kv.len() != self.n_layers() {
+            return Err(EngineError::Run("decode state built for a different model".into()));
+        }
+        let d = self.d_model();
+        let mut x = Matrix::zeros(1, d);
+        x.row_mut(0).copy_from_slice(self.embed_row(token as usize));
+
+        for li in 0..self.n_layers() {
+            let normed = rms_norm(&x);
+            let (q, k, v) = self.project_qkv(li, &normed)?;
+            let (keys, values) = &mut state.kv[li];
+            keys.extend_from_slice(k.row(0));
+            values.extend_from_slice(v.row(0));
+            let ctx_vec = attend_step(q.row(0), keys, values, self.layer_heads(li), d);
+            let mut ctx = Matrix::zeros(1, d);
+            ctx.row_mut(0).copy_from_slice(&ctx_vec);
+            let a = self.project_out(li, &ctx)?;
+            for (xv, av) in x.row_mut(0).iter_mut().zip(a.row(0)) {
+                *xv += av;
+            }
+
+            let normed = rms_norm(&x);
+            let f = self.ffn_forward(li, &normed)?;
+            for (xv, fv) in x.row_mut(0).iter_mut().zip(f.row(0)) {
+                *xv += fv;
+            }
+        }
+        state.seen += 1;
+        Ok(self.project_logits(&x))
+    }
+
+    /// Runs a whole prefix through the cache, returning the last
+    /// position's logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Run`] for an empty prefix.
+    pub fn prefill(&self, tokens: &[u32], state: &mut PackedDecodeState) -> Result<Vec<f32>> {
+        if tokens.is_empty() {
+            return Err(EngineError::Run("empty prefix".into()));
+        }
+        let mut last = Vec::new();
+        for &t in tokens {
+            last = self.forward_step(t, state)?;
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_core::{compress_model, MiloOptions, RankPolicy};
+    use milo_moe::{layer_tensors, MoeConfig, MoeModel};
+
+    fn engine() -> (MoeModel, PackedMoeModel) {
+        let mut cfg = MoeConfig::tiny_mixtral();
+        cfg.d_model = 128;
+        cfg.expert_ffn = 256;
+        cfg.n_layers = 2;
+        let reference = MoeModel::synthesize(&cfg, 41);
+        let tensors = layer_tensors(&reference, None);
+        let opts = MiloOptions { max_iters: 1, ..MiloOptions::default() };
+        let compressed = compress_model(&tensors, &RankPolicy::uniform(4), &opts, 1).unwrap();
+        let packed = PackedMoeModel::build(&reference, &compressed).unwrap();
+        (reference, packed)
+    }
+
+    #[test]
+    fn stepped_logits_match_batch_engine_forward() {
+        let (_, packed) = engine();
+        let tokens = [2u32, 11, 40, 5];
+        let batch = packed.forward(&tokens).unwrap();
+        let mut state = PackedDecodeState::new(&packed);
+        for (i, &t) in tokens.iter().enumerate() {
+            let step = packed.forward_step(t, &mut state).unwrap();
+            for (a, b) in step.iter().zip(batch.row(i)) {
+                assert!(
+                    (a - b).abs() <= 2e-4 * (1.0 + b.abs()),
+                    "position {i}: {a} vs {b}"
+                );
+            }
+        }
+        assert_eq!(state.len(), 4);
+    }
+
+    #[test]
+    fn prefill_and_errors() {
+        let (_, packed) = engine();
+        let mut state = PackedDecodeState::new(&packed);
+        assert!(packed.prefill(&[], &mut state).is_err());
+        assert!(packed.forward_step(9999, &mut state).is_err());
+        let last = packed.prefill(&[1, 2, 3], &mut state).unwrap();
+        assert_eq!(last.len(), packed.vocab());
+        assert!(!state.is_empty());
+    }
+}

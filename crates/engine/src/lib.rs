@@ -1,0 +1,51 @@
+//! Packed-weight MoE inference engine — the functional analogue of the
+//! paper's "MiLo Backend" (§4.3.1).
+//!
+//! The evaluation path in `milo-moe` reconstructs dense FP32 weights
+//! before running; this crate instead keeps every quantizable projection
+//! in its *deployment* form and computes with it directly:
+//!
+//! * weights stay in the zero-bit-waste packed INT3 layout and flow
+//!   through the fused dequant+GEMM kernel of `milo-pack`;
+//! * low-rank compensators are applied as two skinny GEMMs
+//!   (`y += (x·Vᵀ)·Uᵀ`), never materializing `U·V`;
+//! * routers, embeddings, norms, and the head stay in full precision,
+//!   exactly as the real backend keeps them in FP16.
+//!
+//! Layer shapes that violate the kernel's tile constraints (the paper's
+//! kernel has the same restriction) transparently fall back to a dense
+//! path built from the same de-quantized values, so the engine runs any
+//! model while using the packed kernel wherever it legally can.
+
+#![warn(missing_docs)]
+
+pub mod decode;
+pub mod linear;
+pub mod model;
+
+pub use decode::PackedDecodeState;
+pub use linear::PackedLinear;
+pub use model::PackedMoeModel;
+
+/// Errors produced by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The compressed model does not match the reference architecture.
+    Mismatch(String),
+    /// A forward-pass failure (bad token, shape error).
+    Run(String),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Mismatch(msg) => write!(f, "model mismatch: {msg}"),
+            EngineError::Run(msg) => write!(f, "inference failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Convenient result alias for engine operations.
+pub type Result<T> = std::result::Result<T, EngineError>;

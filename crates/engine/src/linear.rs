@@ -1,0 +1,221 @@
+//! A single projection in deployment form: packed INT3 weight (+ scales
+//! and zero-points), optional low-rank compensator factors, and the
+//! fused-GEMM / dense fallback dispatch.
+
+use crate::{EngineError, Result};
+use milo_core::{CompressedLayer, Compensator};
+use milo_pack::{GemmKernel, Packed4Matrix, PackedMatrix, TileShape};
+use milo_tensor::Matrix;
+
+/// How the weight is stored and multiplied.
+#[derive(Debug, Clone, PartialEq)]
+enum Storage {
+    /// Zero-waste packed INT3 plus the tile shape the kernel runs with.
+    Packed3(PackedMatrix, GemmKernel),
+    /// Packed INT4 (the W4A16 baseline format) plus its kernel.
+    Packed4(Packed4Matrix, GemmKernel),
+    /// Dense fallback (FP16-rounded de-quantized values) for shapes the
+    /// kernel's tile rules reject — kept transposed (`in × out`) so the
+    /// hot loop is a plain row-major GEMM.
+    Dense(Matrix),
+}
+
+/// A deployed linear layer: `y = x · Ŵᵀ (+ (x·Vᵀ)·Uᵀ)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedLinear {
+    storage: Storage,
+    /// `(U, Vᵀ... stored as (u: out×r, v: r×in))` compensator factors,
+    /// de-quantized once at build time (deployment keeps them INT3; the
+    /// memory accounting below uses the packed size).
+    comp: Option<(Matrix, Matrix)>,
+    out_features: usize,
+    in_features: usize,
+    /// Deployment memory in bytes (packed weight + packed compensator).
+    memory_bytes: usize,
+}
+
+/// Picks a tile shape whose `(tile_k, tile_n)` divides `(k, n)`, if any.
+fn pick_tile(k: usize, n: usize) -> Option<TileShape> {
+    TileShape::all().into_iter().find(|t| {
+        let (tk, tn) = t.dims();
+        k % tk == 0 && n % tn == 0
+    })
+}
+
+impl PackedLinear {
+    /// Builds the deployment form of one compressed layer. INT3 weights
+    /// go to the zero-waste packed layout, INT4 weights to the W4
+    /// layout; anything else (or shapes the tile rules reject) falls
+    /// back to a dense path built from the same de-quantized values.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible in practice (every weight has the dense
+    /// fallback), but returns `Result` to keep the door open for strict
+    /// deployment modes.
+    pub fn build(layer: &CompressedLayer) -> Result<Self> {
+        let (out_features, in_features) = layer.qweight.shape();
+        let memory_bytes = layer.memory_bytes();
+
+        let tile = pick_tile(in_features, out_features);
+        let storage = match (layer.qweight.config().bits(), tile) {
+            (3, Some(tile)) => match PackedMatrix::pack(&layer.qweight) {
+                Ok(packed) => Storage::Packed3(packed, GemmKernel { tile }),
+                Err(_) => Storage::Dense(layer.qweight.dequantize().transpose()),
+            },
+            (4, Some(tile)) => match Packed4Matrix::pack(&layer.qweight) {
+                Ok(packed) => Storage::Packed4(packed, GemmKernel { tile }),
+                Err(_) => Storage::Dense(layer.qweight.dequantize().transpose()),
+            },
+            _ => Storage::Dense(layer.qweight.dequantize().transpose()),
+        };
+        let comp = layer.compensator.as_ref().map(|c| match c {
+            Compensator::Fp16(lr) => (lr.u().clone(), lr.v().clone()),
+            Compensator::Quantized(q) => (q.u().dequantize(), q.v().dequantize()),
+        });
+        Ok(Self { storage, comp, out_features, in_features, memory_bytes })
+    }
+
+    /// Output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Whether a packed kernel path is active (vs the dense fallback).
+    pub fn uses_packed_kernel(&self) -> bool {
+        matches!(self.storage, Storage::Packed3(..) | Storage::Packed4(..))
+    }
+
+    /// Deployment memory in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.memory_bytes
+    }
+
+    /// Applies the projection to a batch of token vectors
+    /// (`tokens × in`), returning `tokens × out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Run`] on shape mismatches.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.in_features {
+            return Err(EngineError::Run(format!(
+                "input width {} != {}",
+                x.cols(),
+                self.in_features
+            )));
+        }
+        let mut y = match &self.storage {
+            Storage::Packed3(packed, kernel) => kernel
+                .gemm(x, packed)
+                .map_err(|e| EngineError::Run(format!("packed INT3 GEMM failed: {e}")))?,
+            Storage::Packed4(packed, kernel) => kernel
+                .gemm(x, packed)
+                .map_err(|e| EngineError::Run(format!("packed INT4 GEMM failed: {e}")))?,
+            Storage::Dense(wt) => x
+                .matmul(wt)
+                .map_err(|e| EngineError::Run(format!("dense GEMM failed: {e}")))?,
+        };
+        if let Some((u, v)) = &self.comp {
+            // Low-rank fast path: y += (x·Vᵀ)·Uᵀ — two skinny GEMMs, the
+            // U·V product is never materialized.
+            let xv = x
+                .matmul(&v.transpose())
+                .map_err(|e| EngineError::Run(format!("compensator V failed: {e}")))?;
+            let delta = xv
+                .matmul(&u.transpose())
+                .map_err(|e| EngineError::Run(format!("compensator U failed: {e}")))?;
+            y = y
+                .add(&delta)
+                .map_err(|e| EngineError::Run(format!("compensator add failed: {e}")))?;
+        }
+        Ok(y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_core::{milo_compress, MiloOptions};
+    use milo_tensor::rng::WeightDist;
+    use milo_tensor::stats;
+    use rand::SeedableRng;
+
+    fn compressed(rows: usize, cols: usize, rank: usize) -> (Matrix, CompressedLayer) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = WeightDist::Gaussian { std: 0.06 }.sample_matrix(rows, cols, &mut rng);
+        let opts = MiloOptions { max_iters: 2, ..MiloOptions::default() };
+        let layer = milo_compress(&w, rank, &opts).unwrap();
+        (w, layer)
+    }
+
+    #[test]
+    fn packed_path_selected_for_tileable_shapes() {
+        let (_, layer) = compressed(256, 128, 4);
+        let lin = PackedLinear::build(&layer).unwrap();
+        assert!(lin.uses_packed_kernel());
+    }
+
+    #[test]
+    fn dense_fallback_for_untileable_shapes() {
+        let (_, layer) = compressed(96, 192, 4);
+        let lin = PackedLinear::build(&layer).unwrap();
+        assert!(!lin.uses_packed_kernel());
+    }
+
+    #[test]
+    fn forward_matches_effective_weight() {
+        for (rows, cols) in [(256usize, 128usize), (96, 192)] {
+            let (_, layer) = compressed(rows, cols, 4);
+            let lin = PackedLinear::build(&layer).unwrap();
+            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(3, cols, &mut rng);
+            let y = lin.forward(&x).unwrap();
+            let reference = x.matmul(&layer.effective_weight().transpose()).unwrap();
+            let rel = stats::relative_frobenius_error(&reference, &y);
+            assert!(rel < 5e-3, "({rows},{cols}): rel {rel}");
+        }
+    }
+
+    #[test]
+    fn no_compensator_path_works() {
+        let (_, layer) = compressed(128, 128, 0);
+        let lin = PackedLinear::build(&layer).unwrap();
+        assert!(lin.forward(&Matrix::filled(1, 128, 0.5)).is_ok());
+    }
+
+    #[test]
+    fn int4_weights_use_the_w4_packed_path() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let w = WeightDist::Gaussian { std: 0.06 }.sample_matrix(256, 128, &mut rng);
+        let q = milo_quant::rtn_quantize(&w, &milo_quant::QuantConfig::int4_asym()).unwrap();
+        let layer = CompressedLayer { qweight: q.clone(), compensator: None, convergence: vec![] };
+        let lin = PackedLinear::build(&layer).unwrap();
+        assert!(lin.uses_packed_kernel());
+        let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(2, 128, &mut rng);
+        let y = lin.forward(&x).unwrap();
+        let reference = x.matmul(&q.dequantize().transpose()).unwrap();
+        assert!(stats::relative_frobenius_error(&reference, &y) < 5e-3);
+    }
+
+    #[test]
+    fn wrong_width_rejected() {
+        let (_, layer) = compressed(128, 128, 2);
+        let lin = PackedLinear::build(&layer).unwrap();
+        assert!(lin.forward(&Matrix::zeros(1, 64)).is_err());
+    }
+
+    #[test]
+    fn memory_matches_compressed_layer() {
+        let (_, layer) = compressed(256, 128, 8);
+        let lin = PackedLinear::build(&layer).unwrap();
+        assert_eq!(lin.memory_bytes(), layer.memory_bytes());
+        assert_eq!(lin.out_features(), 256);
+        assert_eq!(lin.in_features(), 128);
+    }
+}

@@ -1,0 +1,386 @@
+//! The packed MoE model: the full transformer running on deployment-form
+//! weights.
+
+use crate::linear::PackedLinear;
+use crate::{EngineError, Result};
+use milo_core::CompressedModel;
+use milo_moe::attention::{attend, rms_norm};
+use milo_moe::mlp::silu;
+use milo_moe::router::Router;
+use milo_moe::{FfnBlock, MoeModel};
+use milo_tensor::Matrix;
+
+/// A SwiGLU block on packed projections.
+#[derive(Debug, Clone, PartialEq)]
+struct PackedMlp {
+    w1: PackedLinear,
+    w2: PackedLinear,
+    w3: PackedLinear,
+}
+
+impl PackedMlp {
+    fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        let gate = self.w1.forward(x)?;
+        let up = self.w3.forward(x)?;
+        let h = Matrix::from_fn(gate.rows(), gate.cols(), |r, c| silu(gate[(r, c)]) * up[(r, c)]);
+        self.w2.forward(&h)
+    }
+}
+
+/// The FFN part of a packed layer.
+#[derive(Debug, Clone, PartialEq)]
+enum PackedFfn {
+    Dense(PackedMlp),
+    Moe { router: Router, experts: Vec<PackedMlp>, shared: Vec<PackedMlp> },
+}
+
+/// One packed transformer layer.
+#[derive(Debug, Clone, PartialEq)]
+struct PackedLayer {
+    wq: PackedLinear,
+    wk: PackedLinear,
+    wv: PackedLinear,
+    wo: PackedLinear,
+    n_heads: usize,
+    ffn: PackedFfn,
+}
+
+/// A complete MoE model in deployment form: packed INT3 projections,
+/// low-rank compensators applied as skinny GEMMs, FP32 routers /
+/// embeddings / head.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMoeModel {
+    embed: Matrix,
+    head: Matrix,
+    head_gain: f32,
+    vocab: usize,
+    d_model: usize,
+    layers: Vec<PackedLayer>,
+}
+
+impl PackedMoeModel {
+    /// Builds the deployment model from the FP32 reference (which
+    /// provides the architecture, routers, embeddings, and head) and the
+    /// compressed weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Mismatch`] if a layer of the reference has
+    /// no counterpart in `compressed`.
+    pub fn build(reference: &MoeModel, compressed: &CompressedModel) -> Result<Self> {
+        let lin = |name: String| -> Result<PackedLinear> {
+            let rec = compressed
+                .layer(&name)
+                .ok_or_else(|| EngineError::Mismatch(format!("missing layer {name}")))?;
+            PackedLinear::build(&rec.layer)
+        };
+        let mlp = |prefix: String| -> Result<PackedMlp> {
+            Ok(PackedMlp {
+                w1: lin(format!("{prefix}.w1"))?,
+                w2: lin(format!("{prefix}.w2"))?,
+                w3: lin(format!("{prefix}.w3"))?,
+            })
+        };
+
+        let mut layers = Vec::with_capacity(reference.layers.len());
+        for (li, layer) in reference.layers.iter().enumerate() {
+            let ffn = match &layer.ffn {
+                FfnBlock::Dense(_) => PackedFfn::Dense(mlp(format!("layer{li}.dense"))?),
+                FfnBlock::Moe(moe) => {
+                    let mut experts = Vec::with_capacity(moe.experts.len());
+                    for e in 0..moe.experts.len() {
+                        experts.push(mlp(format!("layer{li}.expert{e}"))?);
+                    }
+                    let mut shared = Vec::with_capacity(moe.shared.len());
+                    for s in 0..moe.shared.len() {
+                        shared.push(mlp(format!("layer{li}.shared{s}"))?);
+                    }
+                    PackedFfn::Moe { router: moe.router.clone(), experts, shared }
+                }
+            };
+            layers.push(PackedLayer {
+                wq: lin(format!("layer{li}.attn.wq"))?,
+                wk: lin(format!("layer{li}.attn.wk"))?,
+                wv: lin(format!("layer{li}.attn.wv"))?,
+                wo: lin(format!("layer{li}.attn.wo"))?,
+                n_heads: layer.attn.n_heads(),
+                ffn,
+            });
+        }
+        Ok(Self {
+            embed: reference.embed.clone(),
+            head: reference.head.clone(),
+            head_gain: reference.config.head_gain,
+            vocab: reference.config.vocab,
+            d_model: reference.config.d_model,
+            layers,
+        })
+    }
+
+    /// Runs the model over a token sequence, returning per-position
+    /// logits (`seq × vocab`), numerically equivalent (to FP16 rounding)
+    /// to evaluating the reconstructed dense model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Run`] for invalid tokens or empty input.
+    pub fn forward(&self, tokens: &[u32]) -> Result<Matrix> {
+        if tokens.is_empty() {
+            return Err(EngineError::Run("empty token sequence".into()));
+        }
+        let mut x = Matrix::zeros(tokens.len(), self.d_model);
+        for (i, &t) in tokens.iter().enumerate() {
+            if t as usize >= self.vocab {
+                return Err(EngineError::Run(format!("token {t} out of vocabulary")));
+            }
+            x.row_mut(i).copy_from_slice(self.embed.row(t as usize));
+        }
+
+        for li in 0..self.layers.len() {
+            let normed = rms_norm(&x);
+            let (q, k, v) = self.project_qkv(li, &normed)?;
+            let ctx = attend(&q, &k, &v, self.layers[li].n_heads);
+            let a = self.project_out(li, &ctx)?;
+            x = x.add(&a).map_err(|e| EngineError::Run(e.to_string()))?;
+
+            let normed = rms_norm(&x);
+            let f = self.ffn_forward(li, &normed)?;
+            x = x.add(&f).map_err(|e| EngineError::Run(e.to_string()))?;
+        }
+
+        let final_x = rms_norm(&x);
+        let logits = final_x
+            .matmul(&self.head.transpose())
+            .map_err(|e| EngineError::Run(e.to_string()))?;
+        Ok(logits.scale(self.head_gain / (self.d_model as f32).sqrt()))
+    }
+
+    /// Deployment memory of the quantized projections in bytes (routers,
+    /// embeddings, and head — kept FP16 by the paper's backend — are
+    /// *not* included, matching the paper's memory columns).
+    pub fn memory_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| {
+                let mut total = l.wq.memory_bytes()
+                    + l.wk.memory_bytes()
+                    + l.wv.memory_bytes()
+                    + l.wo.memory_bytes();
+                let mlp_bytes = |m: &PackedMlp| {
+                    m.w1.memory_bytes() + m.w2.memory_bytes() + m.w3.memory_bytes()
+                };
+                total += match &l.ffn {
+                    PackedFfn::Dense(m) => mlp_bytes(m),
+                    PackedFfn::Moe { experts, shared, .. } => {
+                        experts.iter().map(mlp_bytes).sum::<usize>()
+                            + shared.iter().map(mlp_bytes).sum::<usize>()
+                    }
+                };
+                total
+            })
+            .sum()
+    }
+
+    /// Number of transformer layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Model (residual stream) dimension.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding row for a token id (used by the decode loop).
+    pub(crate) fn embed_row(&self, token: usize) -> &[f32] {
+        self.embed.row(token)
+    }
+
+    /// Attention heads of layer `li`.
+    pub(crate) fn layer_heads(&self, li: usize) -> usize {
+        self.layers[li].n_heads
+    }
+
+    /// Runs the q/k/v projections of layer `li`.
+    pub(crate) fn project_qkv(
+        &self,
+        li: usize,
+        x: &Matrix,
+    ) -> Result<(Matrix, Matrix, Matrix)> {
+        let l = &self.layers[li];
+        Ok((l.wq.forward(x)?, l.wk.forward(x)?, l.wv.forward(x)?))
+    }
+
+    /// Runs the output projection of layer `li`.
+    pub(crate) fn project_out(&self, li: usize, ctx: &Matrix) -> Result<Matrix> {
+        self.layers[li].wo.forward(ctx)
+    }
+
+    /// Runs the FFN block of layer `li` on a batch of token rows.
+    pub(crate) fn ffn_forward(&self, li: usize, x: &Matrix) -> Result<Matrix> {
+        match &self.layers[li].ffn {
+            PackedFfn::Dense(mlp) => mlp.forward(x),
+            PackedFfn::Moe { router, experts, shared } => {
+                let tokens_n = x.rows();
+                let mut out = Matrix::zeros(tokens_n, self.d_model);
+                let mut assignment: Vec<Vec<(usize, f32)>> = vec![Vec::new(); experts.len()];
+                for t in 0..tokens_n {
+                    for (e, gate) in router.route(x.row(t)) {
+                        assignment[e].push((t, gate));
+                    }
+                }
+                for (e, toks) in assignment.iter().enumerate() {
+                    if toks.is_empty() {
+                        continue;
+                    }
+                    let mut sub = Matrix::zeros(toks.len(), self.d_model);
+                    for (i, &(t, _)) in toks.iter().enumerate() {
+                        sub.row_mut(i).copy_from_slice(x.row(t));
+                    }
+                    let y = experts[e].forward(&sub)?;
+                    for (i, &(t, gate)) in toks.iter().enumerate() {
+                        for (o, v) in out.row_mut(t).iter_mut().zip(y.row(i)) {
+                            *o += gate * v;
+                        }
+                    }
+                }
+                for sh in shared {
+                    let y = sh.forward(x)?;
+                    for t in 0..tokens_n {
+                        for (o, v) in out.row_mut(t).iter_mut().zip(y.row(t)) {
+                            *o += v;
+                        }
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Projects a single residual row to logits (norm + head + gain).
+    pub(crate) fn project_logits(&self, x: &Matrix) -> Vec<f32> {
+        let final_x = milo_moe::attention::rms_norm(x);
+        let logits = final_x
+            .matmul(&self.head.transpose())
+            .expect("head width matches d_model by construction");
+        let gain = self.head_gain / (self.d_model as f32).sqrt();
+        logits.row(0).iter().map(|&l| l * gain).collect()
+    }
+
+    /// Fraction of projections served by the packed kernel (the rest use
+    /// the dense fallback because of tile-shape constraints).
+    pub fn packed_fraction(&self) -> f32 {
+        let mut packed = 0usize;
+        let mut total = 0usize;
+        let mut count = |l: &PackedLinear| {
+            total += 1;
+            if l.uses_packed_kernel() {
+                packed += 1;
+            }
+        };
+        for l in &self.layers {
+            count(&l.wq);
+            count(&l.wk);
+            count(&l.wv);
+            count(&l.wo);
+            let mut count_mlp = |m: &PackedMlp| {
+                count(&m.w1);
+                count(&m.w2);
+                count(&m.w3);
+            };
+            match &l.ffn {
+                PackedFfn::Dense(m) => count_mlp(m),
+                PackedFfn::Moe { experts, shared, .. } => {
+                    experts.iter().for_each(&mut count_mlp);
+                    shared.iter().for_each(&mut count_mlp);
+                }
+            }
+        }
+        packed as f32 / total.max(1) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_core::{compress_model, MiloOptions, RankPolicy};
+    use milo_moe::{apply_compressed, layer_tensors, MoeConfig};
+    use milo_quant::HqqOptions;
+    use milo_tensor::stats;
+
+    fn build_pair(rank: usize) -> (MoeModel, CompressedModel) {
+        // d=128, experts 128-wide: every projection is tileable, so the
+        // packed kernel path is exercised throughout.
+        let mut cfg = MoeConfig::tiny_mixtral();
+        cfg.d_model = 128;
+        cfg.expert_ffn = 256;
+        cfg.n_layers = 2;
+        cfg.n_heads = 2;
+        let reference = MoeModel::synthesize(&cfg, 31);
+        let tensors = layer_tensors(&reference, None);
+        let opts = MiloOptions {
+            max_iters: 1,
+            hqq: HqqOptions { max_iters: 5, ..HqqOptions::default() },
+            ..MiloOptions::default()
+        };
+        let compressed =
+            compress_model(&tensors, &RankPolicy::uniform(rank), &opts, 2).unwrap();
+        (reference, compressed)
+    }
+
+    #[test]
+    fn engine_matches_reconstructed_dense_model() {
+        let (reference, compressed) = build_pair(4);
+        let engine = PackedMoeModel::build(&reference, &compressed).unwrap();
+        let dense = apply_compressed(&reference, &compressed).unwrap();
+        let tokens = [1u32, 7, 13, 2, 40];
+        let a = engine.forward(&tokens).unwrap();
+        let b = dense.forward(&tokens).unwrap();
+        let rel = stats::relative_frobenius_error(&b, &a);
+        // The engine rounds weights/activations through FP16; logits must
+        // agree to well under a percent.
+        assert!(rel < 1e-2, "engine vs dense rel error {rel}");
+    }
+
+    #[test]
+    fn all_projections_use_packed_kernel_for_tileable_model() {
+        let (reference, compressed) = build_pair(2);
+        let engine = PackedMoeModel::build(&reference, &compressed).unwrap();
+        assert_eq!(engine.packed_fraction(), 1.0);
+    }
+
+    #[test]
+    fn memory_matches_compressed_model() {
+        let (reference, compressed) = build_pair(2);
+        let engine = PackedMoeModel::build(&reference, &compressed).unwrap();
+        assert_eq!(engine.memory_bytes(), compressed.memory_bytes());
+    }
+
+    #[test]
+    fn engine_rejects_bad_tokens() {
+        let (reference, compressed) = build_pair(0);
+        let engine = PackedMoeModel::build(&reference, &compressed).unwrap();
+        assert!(engine.forward(&[]).is_err());
+        assert!(engine.forward(&[9999]).is_err());
+    }
+
+    #[test]
+    fn mismatched_compressed_model_rejected() {
+        let (reference, _) = build_pair(0);
+        let other_cfg = MoeConfig::tiny_deepseek();
+        let other = MoeModel::synthesize(&other_cfg, 5);
+        let tensors = layer_tensors(&other, None);
+        let opts = MiloOptions { max_iters: 1, ..MiloOptions::default() };
+        let compressed =
+            compress_model(&tensors, &RankPolicy::uniform(0), &opts, 2).unwrap();
+        assert!(matches!(
+            PackedMoeModel::build(&reference, &compressed),
+            Err(EngineError::Mismatch(_))
+        ));
+    }
+}

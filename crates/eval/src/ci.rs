@@ -1,0 +1,175 @@
+//! Percentile-bootstrap confidence intervals for the evaluation metrics.
+//!
+//! The synthetic models are small enough that run-to-run perplexity noise
+//! can exceed the effects being measured (e.g. the ~0.2% INT8-vs-INT3
+//! compensator gap of paper Table 6). Bootstrap intervals make that
+//! noise floor explicit: resample the per-sequence NLL contributions with
+//! replacement and read the metric's percentile band.
+
+use crate::par::par_map;
+use milo_moe::{MoeModel, Result};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point estimate with a percentile-bootstrap interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bootstrap {
+    /// The full-sample point estimate.
+    pub point: f32,
+    /// Lower percentile bound.
+    pub lo: f32,
+    /// Upper percentile bound.
+    pub hi: f32,
+}
+
+impl Bootstrap {
+    /// Whether another estimate's interval overlaps this one — if so,
+    /// the difference is within the measured noise floor.
+    pub fn overlaps(&self, other: &Bootstrap) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+
+    /// Half-width of the interval (a scalar "±" to print).
+    pub fn half_width(&self) -> f32 {
+        (self.hi - self.lo) / 2.0
+    }
+}
+
+/// Per-sequence negative-log-likelihood contributions
+/// `(sum NLL, prediction count)`, the resampling unit for perplexity.
+///
+/// # Errors
+///
+/// Propagates forward-pass failures.
+pub fn per_sequence_nll(model: &MoeModel, corpus: &[Vec<u32>]) -> Result<Vec<(f64, usize)>> {
+    let results = par_map(corpus.len(), |s| -> Result<(f64, usize)> {
+        let seq = &corpus[s];
+        if seq.len() < 2 {
+            return Ok((0.0, 0));
+        }
+        let logits = model.forward(seq)?;
+        let mut nll = 0.0f64;
+        for i in 0..seq.len() - 1 {
+            let row = logits.row(i);
+            let target = seq[i + 1] as usize;
+            let max_l = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max) as f64;
+            let lse: f64 =
+                row.iter().map(|&l| ((l as f64) - max_l).exp()).sum::<f64>().ln() + max_l;
+            nll -= row[target] as f64 - lse;
+        }
+        Ok((nll, seq.len() - 1))
+    });
+    results.into_iter().collect()
+}
+
+/// Perplexity with a percentile-bootstrap interval at confidence
+/// `1 − alpha` over `resamples` resamplings of the per-sequence
+/// contributions.
+///
+/// # Errors
+///
+/// Propagates forward-pass failures; errors on a corpus with no
+/// prediction targets.
+pub fn perplexity_ci(
+    model: &MoeModel,
+    corpus: &[Vec<u32>],
+    resamples: usize,
+    alpha: f32,
+    seed: u64,
+) -> Result<Bootstrap> {
+    let contributions = per_sequence_nll(model, corpus)?;
+    let usable: Vec<(f64, usize)> =
+        contributions.into_iter().filter(|&(_, c)| c > 0).collect();
+    if usable.is_empty() {
+        return Err(milo_moe::MoeError::InvalidInput(
+            "corpus has no next-token prediction targets".into(),
+        ));
+    }
+    let ppl_of = |sample: &[(f64, usize)]| -> f32 {
+        let nll: f64 = sample.iter().map(|&(n, _)| n).sum();
+        let count: usize = sample.iter().map(|&(_, c)| c).sum();
+        ((nll / count as f64).exp()) as f32
+    };
+    let point = ppl_of(&usable);
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stats: Vec<f32> = (0..resamples.max(2))
+        .map(|_| {
+            let sample: Vec<(f64, usize)> =
+                (0..usable.len()).map(|_| usable[rng.gen_range(0..usable.len())]).collect();
+            ppl_of(&sample)
+        })
+        .collect();
+    stats.sort_by(|a, b| a.partial_cmp(b).expect("finite perplexities"));
+    let idx = |q: f32| {
+        (((stats.len() - 1) as f32 * q).round() as usize).min(stats.len() - 1)
+    };
+    Ok(Bootstrap {
+        point,
+        lo: stats[idx(alpha / 2.0)],
+        hi: stats[idx(1.0 - alpha / 2.0)],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ppl::{generate_corpus, perplexity};
+    use milo_moe::MoeConfig;
+
+    fn teacher() -> MoeModel {
+        MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 19)
+    }
+
+    #[test]
+    fn point_estimate_matches_plain_perplexity() {
+        let m = teacher();
+        let corpus = generate_corpus(&m, 5, 14, 1).unwrap();
+        let plain = perplexity(&m, &corpus).unwrap();
+        let boot = perplexity_ci(&m, &corpus, 50, 0.1, 2).unwrap();
+        assert!((plain - boot.point).abs() < 1e-4, "{plain} vs {}", boot.point);
+    }
+
+    #[test]
+    fn interval_contains_the_point() {
+        let m = teacher();
+        let corpus = generate_corpus(&m, 6, 14, 3).unwrap();
+        let boot = perplexity_ci(&m, &corpus, 100, 0.1, 4).unwrap();
+        assert!(boot.lo <= boot.point && boot.point <= boot.hi);
+        assert!(boot.half_width() > 0.0);
+    }
+
+    #[test]
+    fn more_data_narrows_the_interval() {
+        let m = teacher();
+        let small = generate_corpus(&m, 3, 10, 5).unwrap();
+        let large = generate_corpus(&m, 12, 20, 5).unwrap();
+        let b_small = perplexity_ci(&m, &small, 200, 0.1, 6).unwrap();
+        let b_large = perplexity_ci(&m, &large, 200, 0.1, 6).unwrap();
+        assert!(
+            b_large.half_width() < b_small.half_width() * 1.5,
+            "large ±{} vs small ±{}",
+            b_large.half_width(),
+            b_small.half_width()
+        );
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = Bootstrap { point: 10.0, lo: 9.0, hi: 11.0 };
+        let b = Bootstrap { point: 10.5, lo: 10.0, hi: 12.0 };
+        let c = Bootstrap { point: 20.0, lo: 19.0, hi: 21.0 };
+        assert!(a.overlaps(&b));
+        assert!(b.overlaps(&a));
+        assert!(!a.overlaps(&c));
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_given_seed() {
+        let m = teacher();
+        let corpus = generate_corpus(&m, 4, 12, 7).unwrap();
+        let a = perplexity_ci(&m, &corpus, 50, 0.1, 8).unwrap();
+        let b = perplexity_ci(&m, &corpus, 50, 0.1, 8).unwrap();
+        assert_eq!(a, b);
+    }
+}

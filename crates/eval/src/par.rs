@@ -1,0 +1,57 @@
+//! A tiny fork-join helper used to parallelize evaluation across
+//! sequences and prompts.
+
+/// Maps `f` over `0..n` on up to `available_parallelism` threads,
+/// returning results in index order. `f` is called exactly once per
+/// index; work is split into contiguous chunks.
+pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let chunks: Vec<Vec<T>> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                scope.spawn(move |_| {
+                    (t * chunk..n.min((t + 1) * chunk)).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("evaluation worker panicked"))
+            .collect()
+    })
+    .expect("scoped threads failed");
+    chunks.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let out = par_map(100, |i| i * i);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert!(par_map(0, |i| i).is_empty());
+        assert_eq!(par_map(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn uneven_chunking_covers_all_indices() {
+        let out = par_map(17, |i| i);
+        assert_eq!(out, (0..17).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,293 @@
+//! End-to-end first-token latency model (paper Table 7).
+//!
+//! The paper benchmarks Mixtral-8×7B first-token latency under four
+//! backends. The model here composes the per-GEMM kernel costs over the
+//! whole transformer and adds the two serving-stack terms the paper
+//! itself calls out:
+//!
+//! * a fixed framework overhead (Python dispatch, routing, KV plumbing) —
+//!   this dominates absolute latency and is why GPTQ's GeMV backend and
+//!   MiLo measure identically at batch 1 in the paper;
+//! * MARLIN's separate zero-point handling: MARLIN is a symmetric-only
+//!   kernel, so serving MiLo's asymmetric quantization on it needs extra
+//!   per-layer elementwise work ("we need to handle the zero-point
+//!   calculations separately", §4.3.1) — the source of MiLo's ~1.2×
+//!   end-to-end win.
+
+use crate::device::Device;
+use crate::kernels::{gemm_time, KernelConfig, KernelKind};
+use crate::shapes::GemmShape;
+
+/// Architecture description sufficient for the latency/memory model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSpec {
+    /// Display name.
+    pub name: String,
+    /// Number of transformer layers.
+    pub n_layers: usize,
+    /// Model dimension.
+    pub d_model: usize,
+    /// Expert FFN hidden dimension.
+    pub ffn: usize,
+    /// Routed experts per layer.
+    pub n_experts: usize,
+    /// Router top-k.
+    pub top_k: usize,
+    /// Non-layer parameters (embeddings, head), elements.
+    pub other_params: u64,
+}
+
+impl ModelSpec {
+    /// Mixtral-8×7B: 32 layers, d=4096, FFN=14336, 8 experts, top-2
+    /// (the Table 7 subject, ~46.7B parameters).
+    pub fn mixtral_8x7b() -> Self {
+        Self {
+            name: "Mixtral-8x7B".into(),
+            n_layers: 32,
+            d_model: 4096,
+            ffn: 14336,
+            n_experts: 8,
+            top_k: 2,
+            other_params: 2 * 32000 * 4096,
+        }
+    }
+
+    /// Total parameter count (attention + experts + other).
+    pub fn total_params(&self) -> u64 {
+        let attn = 4 * self.d_model as u64 * self.d_model as u64;
+        let experts = self.n_experts as u64 * 3 * self.ffn as u64 * self.d_model as u64;
+        self.n_layers as u64 * (attn + experts) + self.other_params
+    }
+
+    /// Expected number of *distinct* experts activated per layer when
+    /// `batch` independent tokens are routed top-k:
+    /// `E[distinct] = n·(1 − (1 − k/n)^batch)`.
+    pub fn expected_active_experts(&self, batch: usize) -> f64 {
+        let n = self.n_experts as f64;
+        let p = self.top_k as f64 / n;
+        n * (1.0 - (1.0 - p).powi(batch as i32))
+    }
+}
+
+/// The serving backends of paper Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// Unquantized FP16 under plain PyTorch.
+    PyTorchFp16,
+    /// GPTQ's 3-bit GeMV backend (batch 1 only).
+    Gptq3bit,
+    /// MARLIN W4A16, with separate zero-point handling for asymmetric
+    /// models.
+    Marlin,
+    /// The MiLo W3A16 backend (asymmetric, group 64).
+    Milo,
+}
+
+impl Backend {
+    /// Display name matching the paper's table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::PyTorchFp16 => "PyTorch",
+            Backend::Gptq3bit => "GPTQ3bit Backend",
+            Backend::Marlin => "MARLIN Backend",
+            Backend::Milo => "MiLo Backend",
+        }
+    }
+
+    /// Weight bytes per parameter under this backend (packed weights +
+    /// amortized group parameters).
+    fn bytes_per_param(&self) -> f64 {
+        match self {
+            Backend::PyTorchFp16 => 2.0,
+            Backend::Gptq3bit | Backend::Milo => 3.0 / 8.0 + 4.0 / 64.0,
+            Backend::Marlin => 4.0 / 8.0 + 2.0 / 128.0,
+        }
+    }
+
+    fn kernel(&self) -> KernelKind {
+        match self {
+            Backend::PyTorchFp16 => KernelKind::Fp16,
+            Backend::Gptq3bit => KernelKind::Gptq3bit,
+            Backend::Marlin => KernelKind::Marlin,
+            Backend::Milo => KernelKind::MiloAsym,
+        }
+    }
+}
+
+/// The outcome of an end-to-end latency query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum E2eResult {
+    /// Predicted first-token latency in seconds.
+    Latency(f64),
+    /// The model weights do not fit in device memory (paper: PyTorch
+    /// FP16 Mixtral needs ~90 GB on a 40 GB A100).
+    OutOfMemory,
+    /// The backend cannot serve this batch size (paper: GPTQ's GeMV
+    /// kernel is batch-1 only).
+    Unsupported,
+}
+
+impl E2eResult {
+    /// The latency if the run succeeded.
+    pub fn latency(&self) -> Option<f64> {
+        match self {
+            E2eResult::Latency(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// Fixed serving-stack overhead per forward pass, seconds. Calibrated so
+/// absolute latencies land near paper Table 7; the *relative* results
+/// (who wins, OOM, unsupported cells) come from the structural model.
+const FRAMEWORK_OVERHEAD: f64 = 0.096;
+/// Extra per-layer cost of MARLIN's separate zero-point handling for
+/// asymmetric quantization, seconds.
+const MARLIN_ZP_OVERHEAD_PER_LAYER: f64 = 0.55e-3;
+/// Activation/KV working-set allowance for the OOM check, bytes.
+const ACTIVATION_RESERVE: u64 = 2 * (1 << 30);
+
+/// Predicts first-token latency of `spec` on `dev` under `backend` at
+/// the given batch size.
+///
+/// # Examples
+///
+/// ```
+/// use milo_gpu_sim::{end_to_end, Backend, Device, E2eResult, ModelSpec};
+///
+/// let dev = Device::a100_40gb();
+/// let spec = ModelSpec::mixtral_8x7b();
+/// // The FP16 model (~95 GB) cannot be hosted at all (paper Table 7).
+/// assert_eq!(end_to_end(&dev, Backend::PyTorchFp16, &spec, 1), E2eResult::OutOfMemory);
+/// // The W3A16 MiLo backend serves it, ~1.2x faster than MARLIN.
+/// let milo = end_to_end(&dev, Backend::Milo, &spec, 16).latency().unwrap();
+/// let marlin = end_to_end(&dev, Backend::Marlin, &spec, 16).latency().unwrap();
+/// assert!(marlin / milo > 1.1);
+/// ```
+pub fn end_to_end(dev: &Device, backend: Backend, spec: &ModelSpec, batch: usize) -> E2eResult {
+    // Memory check.
+    let weight_bytes = (spec.total_params() as f64 * backend.bytes_per_param()) as u64;
+    if weight_bytes + ACTIVATION_RESERVE > dev.vram_bytes {
+        return E2eResult::OutOfMemory;
+    }
+
+    let cfg = KernelConfig::new(backend.kernel());
+    let d = spec.d_model;
+
+    // Attention projections: 4 GEMMs of m=batch, k=n=d per layer.
+    let attn_shape = GemmShape::new(batch, d, d);
+    let Some(attn_time) = gemm_time(dev, &cfg, attn_shape) else {
+        return E2eResult::Unsupported;
+    };
+
+    // Experts: the batch routes to E[distinct] experts, each seeing
+    // batch·top_k / distinct tokens.
+    let distinct = spec.expected_active_experts(batch).round().max(1.0) as usize;
+    let m_expert = (batch * spec.top_k).div_ceil(distinct);
+    let expert_shapes = [
+        GemmShape::new(m_expert, d, spec.ffn),
+        GemmShape::new(m_expert, spec.ffn, d),
+        GemmShape::new(m_expert, d, spec.ffn),
+    ];
+    let mut expert_time = 0.0;
+    for s in expert_shapes {
+        let Some(t) = gemm_time(dev, &cfg, s) else {
+            return E2eResult::Unsupported;
+        };
+        expert_time += t;
+    }
+
+    let mut per_layer = 4.0 * attn_time + distinct as f64 * expert_time;
+    if backend == Backend::Marlin {
+        per_layer += MARLIN_ZP_OVERHEAD_PER_LAYER;
+    }
+    E2eResult::Latency(FRAMEWORK_OVERHEAD + spec.n_layers as f64 * per_layer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dev() -> Device {
+        Device::a100_40gb()
+    }
+
+    #[test]
+    fn mixtral_params_are_about_47b() {
+        let p = ModelSpec::mixtral_8x7b().total_params();
+        assert!(p > 45e9 as u64 && p < 49e9 as u64, "params {p}");
+    }
+
+    #[test]
+    fn pytorch_fp16_goes_oom() {
+        // Paper Table 7: the FP16 model (~90 GB) cannot fit a 40 GB A100.
+        let spec = ModelSpec::mixtral_8x7b();
+        for batch in [1, 16, 32] {
+            assert_eq!(end_to_end(&dev(), Backend::PyTorchFp16, &spec, batch), E2eResult::OutOfMemory);
+        }
+    }
+
+    #[test]
+    fn gptq_backend_is_batch1_only() {
+        let spec = ModelSpec::mixtral_8x7b();
+        assert!(matches!(
+            end_to_end(&dev(), Backend::Gptq3bit, &spec, 1),
+            E2eResult::Latency(_)
+        ));
+        assert_eq!(end_to_end(&dev(), Backend::Gptq3bit, &spec, 16), E2eResult::Unsupported);
+    }
+
+    #[test]
+    fn gptq_and_milo_are_close_at_batch1() {
+        // Paper: both measure 0.102 s.
+        let spec = ModelSpec::mixtral_8x7b();
+        let milo = end_to_end(&dev(), Backend::Milo, &spec, 1).latency().unwrap();
+        let gptq = end_to_end(&dev(), Backend::Gptq3bit, &spec, 1).latency().unwrap();
+        assert!((milo - gptq).abs() / milo < 0.05, "milo {milo} vs gptq {gptq}");
+    }
+
+    #[test]
+    fn milo_beats_marlin_at_every_batch() {
+        // Paper: 1.2× at batch 1, ~1.26× at larger batches.
+        let spec = ModelSpec::mixtral_8x7b();
+        for batch in [1usize, 16, 32] {
+            let milo = end_to_end(&dev(), Backend::Milo, &spec, batch).latency().unwrap();
+            let marlin = end_to_end(&dev(), Backend::Marlin, &spec, batch).latency().unwrap();
+            let speedup = marlin / milo;
+            assert!(
+                speedup > 1.1 && speedup < 1.45,
+                "batch {batch}: speedup {speedup}"
+            );
+        }
+    }
+
+    #[test]
+    fn latency_grows_mildly_with_batch() {
+        // Paper: 0.102 → 0.112 → 0.113 for MiLo.
+        let spec = ModelSpec::mixtral_8x7b();
+        let t1 = end_to_end(&dev(), Backend::Milo, &spec, 1).latency().unwrap();
+        let t16 = end_to_end(&dev(), Backend::Milo, &spec, 16).latency().unwrap();
+        let t32 = end_to_end(&dev(), Backend::Milo, &spec, 32).latency().unwrap();
+        assert!(t16 >= t1, "t16 {t16} vs t1 {t1}");
+        // bs 16 → 32 may shave a split-k barrier; allow 3% slack.
+        assert!(t32 >= t16 * 0.97, "t32 {t32} vs t16 {t16}");
+        assert!(t32 / t1 < 1.4, "batch-32 latency should stay within 40% of batch-1");
+    }
+
+    #[test]
+    fn absolute_latency_near_paper_scale() {
+        // Not a strict reproduction target, but the calibration should
+        // put MiLo batch-1 in the right decade (paper: 0.102 s).
+        let spec = ModelSpec::mixtral_8x7b();
+        let t = end_to_end(&dev(), Backend::Milo, &spec, 1).latency().unwrap();
+        assert!(t > 0.05 && t < 0.25, "latency {t}");
+    }
+
+    #[test]
+    fn expected_active_experts_saturates() {
+        let spec = ModelSpec::mixtral_8x7b();
+        assert!((spec.expected_active_experts(1) - 2.0).abs() < 1e-6);
+        assert!(spec.expected_active_experts(16) > 7.5);
+        assert!(spec.expected_active_experts(1000) <= 8.0 + 1e-6);
+    }
+}

@@ -1,0 +1,421 @@
+//! Per-kernel cost models (paper Fig. 9 configurations).
+
+use crate::device::Device;
+use crate::shapes::GemmShape;
+
+/// The GEMM kernels compared in the paper's Fig. 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelKind {
+    /// MiLo W3A16, symmetric, group 64, fused dequant + GEMM.
+    MiloSym,
+    /// MiLo W3A16, asymmetric, group 64, fused dequant + GEMM.
+    MiloAsym,
+    /// MARLIN W4A16, symmetric, group 128 (Frantar et al. 2024).
+    Marlin,
+    /// GPTQ's W3A16 GeMV kernel — batch size 1 only, per-channel
+    /// asymmetric.
+    Gptq3bit,
+    /// Unfused two-pass pipeline: MiLo Dequant writes an FP16 dense
+    /// weight, CUTLASS reads it back for the GEMM.
+    DequantCutlass,
+    /// Unquantized FP16 (cuBLAS-style) reference.
+    Fp16,
+}
+
+impl KernelKind {
+    /// Weight bits per element.
+    pub fn bits(&self) -> u32 {
+        match self {
+            KernelKind::MiloSym
+            | KernelKind::MiloAsym
+            | KernelKind::Gptq3bit
+            | KernelKind::DequantCutlass => 3,
+            KernelKind::Marlin => 4,
+            KernelKind::Fp16 => 16,
+        }
+    }
+
+    /// Quantization group size along `k` (`None` = per-channel).
+    pub fn group_size(&self) -> Option<usize> {
+        match self {
+            KernelKind::MiloSym | KernelKind::MiloAsym | KernelKind::DequantCutlass => Some(64),
+            KernelKind::Marlin => Some(128),
+            KernelKind::Gptq3bit => None,
+            KernelKind::Fp16 => Some(usize::MAX),
+        }
+    }
+
+    /// Bytes of scale/zero-point parameters per group (FP16 each).
+    pub fn param_bytes_per_group(&self) -> f64 {
+        match self {
+            KernelKind::MiloAsym | KernelKind::Gptq3bit => 4.0, // scale + zero
+            KernelKind::MiloSym | KernelKind::Marlin | KernelKind::DequantCutlass => 2.0,
+            KernelKind::Fp16 => 0.0,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelKind::MiloSym => "MiLo Symmetric Kernel",
+            KernelKind::MiloAsym => "MiLo Asymmetric Kernel",
+            KernelKind::Marlin => "MARLIN Kernel",
+            KernelKind::Gptq3bit => "GPTQ3bit Kernel",
+            KernelKind::DequantCutlass => "MiLo Dequant + CUTLASS",
+            KernelKind::Fp16 => "FP16 cuBLAS",
+        }
+    }
+}
+
+/// The three kernel optimizations ablated in paper Fig. 10.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Optimizations {
+    /// Asynchronous global weight loads (`cuda::memcpy_async`): overlap
+    /// memory traffic with computation.
+    pub async_load: bool,
+    /// The binary-manipulation INT3→FP16 path; disabling it falls back to
+    /// naive integer casts.
+    pub milo_dequant: bool,
+    /// MoE-specific tile-shape tuning; disabling it pins the default
+    /// (128, 128) tile.
+    pub tile_tuning: bool,
+}
+
+impl Default for Optimizations {
+    fn default() -> Self {
+        Self { async_load: true, milo_dequant: true, tile_tuning: true }
+    }
+}
+
+/// A kernel plus its optimization toggles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Which kernel's cost structure to use.
+    pub kind: KernelKind,
+    /// Optimization toggles (only meaningful for the MiLo kernels; the
+    /// baselines have their own fixed behaviour).
+    pub opts: Optimizations,
+}
+
+impl KernelConfig {
+    /// A kernel with all MiLo optimizations enabled.
+    pub fn new(kind: KernelKind) -> Self {
+        Self { kind, opts: Optimizations::default() }
+    }
+}
+
+/// The candidate `(tile_k, tile_n)` shapes (paper §3.3).
+const TILES: [(usize, usize); 3] = [(256, 64), (128, 128), (64, 256)];
+/// The default tile when tuning is disabled.
+const DEFAULT_TILE: (usize, usize) = (128, 128);
+/// k-tiles grouped per pipeline stage (Appendix D: "we group 4 tiles into
+/// one pipeline").
+const PIPELINE_DEPTH: usize = 4;
+
+/// CUDA-core operations per weight element spent on de-quantization.
+fn dequant_ops_per_elem(cfg: &KernelConfig) -> f64 {
+    match cfg.kind {
+        KernelKind::Fp16 => 0.0,
+        KernelKind::Marlin => 0.5,
+        KernelKind::Gptq3bit => 1.0,
+        KernelKind::MiloSym | KernelKind::MiloAsym | KernelKind::DequantCutlass => {
+            if cfg.opts.milo_dequant {
+                0.5 // two values per instruction via the 1024+e splice
+            } else {
+                3.0 // extract + int->float cast + scale, per element
+            }
+        }
+    }
+}
+
+/// Time of one GEMM with a specific tile shape, or `None` when the kernel
+/// cannot run the problem (GPTQ GeMV with batch > 1).
+fn gemm_time_with_tile(
+    dev: &Device,
+    cfg: &KernelConfig,
+    shape: GemmShape,
+    tile: (usize, usize),
+) -> Option<f64> {
+    if cfg.kind == KernelKind::Gptq3bit && shape.m > 1 {
+        return None; // GeMV kernel: batch-1 only (paper Table 7 "—")
+    }
+    let (m, k, n) = (shape.m as f64, shape.k as f64, shape.n as f64);
+
+    // --- Memory traffic ---
+    let weight_bytes = shape.weight_elems() * cfg.kind.bits() as f64 / 8.0;
+    let groups = match cfg.kind.group_size() {
+        Some(g) if g != usize::MAX => n * (shape.k as f64 / g as f64).ceil(),
+        Some(_) => 0.0,  // FP16: no parameters
+        None => n, // per-channel
+    };
+    let param_bytes = groups * cfg.kind.param_bytes_per_group();
+    let act_bytes = m * k * 2.0 + m * n * 2.0;
+    let mut mem_bytes = weight_bytes + param_bytes + act_bytes;
+    let mut launches = 1.0;
+    if cfg.kind == KernelKind::DequantCutlass {
+        // Separate dequant pass: write the FP16 dense weight, then the
+        // GEMM kernel reads it back.
+        mem_bytes += 2.0 * (shape.weight_elems() * 2.0);
+        launches += 1.0;
+    }
+    let mem_time = mem_bytes / dev.mem_bw;
+
+    // --- Compute phase ---
+    let tc_time = match cfg.kind {
+        // The GeMV kernel runs on CUDA cores with packed-half intrinsics.
+        KernelKind::Gptq3bit => shape.flops() / (2.0 * dev.cuda_flops),
+        _ => shape.flops() / dev.tc_flops,
+    };
+    let dequant_time = shape.weight_elems() * dequant_ops_per_elem(cfg) / dev.cuda_flops;
+    let compute_time = tc_time + dequant_time;
+
+    // --- Split-k global reduction ---
+    // When the output grid has too few tiles to fill the SMs, the kernel
+    // splits the reduction dimension across blocks and pays a global
+    // synchronization per extra split (capped at the pipeline's split-k
+    // factor). Tile tuning picks the shape that minimizes this — the
+    // "MoE-specific tile shape tuning" of §3.3.
+    let (tile_k, tile_n) = tile;
+    let out_tiles = (m / 16.0).ceil() * (n / tile_n as f64).ceil();
+    let max_splits = (k / (PIPELINE_DEPTH * tile_k) as f64).ceil().clamp(1.0, 4.0);
+    let splits = if out_tiles < dev.sm_count as f64 {
+        ((dev.sm_count as f64 / out_tiles).ceil()).min(max_splits)
+    } else {
+        1.0
+    };
+    // MARLIN's striped partitioning makes its global reduction cheaper
+    // than a naive inter-block barrier.
+    let sync_unit = if cfg.kind == KernelKind::Marlin {
+        dev.sync_cost * 0.5
+    } else {
+        dev.sync_cost
+    };
+    let sync_time = (splits - 1.0) * sync_unit;
+
+    // --- Pipeline composition ---
+    // Async loads overlap the memory phase with compute; the global
+    // reduction serializes after both.
+    let body = if cfg.opts.async_load && cfg.kind != KernelKind::Fp16 {
+        mem_time.max(compute_time)
+    } else {
+        mem_time + compute_time
+    };
+    Some(body + sync_time + launches * dev.launch_overhead)
+}
+
+/// Predicted execution time in seconds of one GEMM, or `None` when the
+/// kernel cannot run the problem.
+///
+/// With tile tuning enabled the model picks the best of the three tile
+/// shapes, mirroring the kernel's autotuner; otherwise the default
+/// (128, 128) tile is used. Baseline kernels (MARLIN, GPTQ, CUTLASS,
+/// FP16) always use their own fixed tiling, i.e. the default.
+pub fn gemm_time(dev: &Device, cfg: &KernelConfig, shape: GemmShape) -> Option<f64> {
+    let is_milo = matches!(
+        cfg.kind,
+        KernelKind::MiloSym | KernelKind::MiloAsym | KernelKind::DequantCutlass
+    );
+    if is_milo && cfg.opts.tile_tuning {
+        TILES
+            .iter()
+            .filter_map(|&t| gemm_time_with_tile(dev, cfg, shape, t))
+            .min_by(|a, b| a.partial_cmp(b).expect("times are finite"))
+    } else {
+        gemm_time_with_tile(dev, cfg, shape, DEFAULT_TILE)
+    }
+}
+
+/// Achieved TFLOPS of a GEMM under a kernel, or `None` when unsupported.
+pub fn tflops(dev: &Device, cfg: &KernelConfig, shape: GemmShape) -> Option<f64> {
+    gemm_time(dev, cfg, shape).map(|t| shape.flops() / t / 1e12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shapes::{mlp_shapes, MlpModel};
+
+    fn dev() -> Device {
+        Device::a100_40gb()
+    }
+
+    fn total_time(kind: KernelKind, model: MlpModel, batch: usize) -> Option<f64> {
+        let cfg = KernelConfig::new(kind);
+        mlp_shapes(model, batch)
+            .into_iter()
+            .map(|s| gemm_time(&dev(), &cfg, s))
+            .try_fold(0.0, |acc, t| t.map(|t| acc + t))
+    }
+
+    #[test]
+    fn bs1_is_memory_bound_and_int3_wins() {
+        // Paper Fig. 9, batch 1: both 3-bit kernels beat MARLIN because
+        // the problem is memory-bound and INT3 moves fewer bytes.
+        let milo = total_time(KernelKind::MiloSym, MlpModel::Mixtral8x7b, 1).unwrap();
+        let gptq = total_time(KernelKind::Gptq3bit, MlpModel::Mixtral8x7b, 1).unwrap();
+        let marlin = total_time(KernelKind::Marlin, MlpModel::Mixtral8x7b, 1).unwrap();
+        assert!(milo < marlin, "MiLo {milo} should beat MARLIN {marlin}");
+        assert!(gptq < marlin);
+        // And the two 3-bit kernels are close (within 15%).
+        assert!((milo - gptq).abs() / milo < 0.15, "milo {milo} vs gptq {gptq}");
+    }
+
+    #[test]
+    fn gptq_gemv_rejects_batched_input() {
+        assert!(total_time(KernelKind::Gptq3bit, MlpModel::Mixtral8x7b, 16).is_none());
+        assert!(total_time(KernelKind::Gptq3bit, MlpModel::Mixtral8x7b, 1).is_some());
+    }
+
+    #[test]
+    fn bs16_milo_beats_marlin_by_paper_margins() {
+        // Paper: 16%, 7%, 12%, 24% on DeepSeek, Arctic, Mixtral, Falcon.
+        // The analytical model should land in the same win band
+        // (roughly 5%–40%) for every model.
+        for model in MlpModel::all() {
+            let milo = total_time(KernelKind::MiloSym, model, 16).unwrap();
+            let marlin = total_time(KernelKind::Marlin, model, 16).unwrap();
+            let speedup = marlin / milo;
+            assert!(
+                speedup > 1.02 && speedup < 1.50,
+                "{}: speedup {speedup}",
+                model.name()
+            );
+        }
+    }
+
+    #[test]
+    fn bs32_milo_still_wins_on_deepseek() {
+        // Paper: 17% higher throughput than the second best at bs 32 on
+        // the DeepSeek MLP, thanks to reduced synchronization.
+        let milo = total_time(KernelKind::MiloSym, MlpModel::DeepSeekMoe, 32).unwrap();
+        let marlin = total_time(KernelKind::Marlin, MlpModel::DeepSeekMoe, 32).unwrap();
+        let speedup = marlin / milo;
+        assert!(speedup > 1.08, "speedup {speedup}");
+    }
+
+    #[test]
+    fn unfused_pipeline_is_much_slower() {
+        let fused = total_time(KernelKind::MiloSym, MlpModel::Mixtral8x7b, 16).unwrap();
+        let unfused = total_time(KernelKind::DequantCutlass, MlpModel::Mixtral8x7b, 16).unwrap();
+        assert!(unfused > 2.0 * fused, "unfused {unfused} vs fused {fused}");
+    }
+
+    #[test]
+    fn fp16_is_slowest_at_small_batch() {
+        for kind in [KernelKind::MiloSym, KernelKind::Marlin, KernelKind::Gptq3bit] {
+            let q = total_time(kind, MlpModel::Mixtral8x7b, 1).unwrap();
+            let fp = total_time(KernelKind::Fp16, MlpModel::Mixtral8x7b, 1).unwrap();
+            assert!(fp > 2.0 * q, "{:?}: fp16 {fp} vs {q}", kind);
+        }
+    }
+
+    #[test]
+    fn time_is_monotone_in_batch() {
+        // Near-monotone: a larger batch adds output tiles, which can
+        // remove a split-k barrier and shave a few microseconds — a real
+        // effect on GPUs — so allow 3% slack at tile boundaries.
+        let cfg = KernelConfig::new(KernelKind::MiloAsym);
+        let mut prev = 0.0;
+        for batch in [1usize, 16, 32, 64, 128] {
+            let t: f64 = mlp_shapes(MlpModel::Mixtral8x7b, batch)
+                .into_iter()
+                .map(|s| gemm_time(&dev(), &cfg, s).unwrap())
+                .sum();
+            assert!(t >= prev * 0.97, "batch {batch}: {t} < {prev}");
+            prev = prev.max(t);
+        }
+    }
+
+    #[test]
+    fn removing_async_load_hurts_most() {
+        // Paper Fig. 10 conclusion (1): async load is the most critical
+        // optimization.
+        let base = Optimizations::default();
+        for model in MlpModel::all() {
+            let t = |opts: Optimizations| -> f64 {
+                let cfg = KernelConfig { kind: KernelKind::MiloAsym, opts };
+                mlp_shapes(model, 16)
+                    .into_iter()
+                    .map(|s| gemm_time(&dev(), &cfg, s).unwrap())
+                    .sum()
+            };
+            let t_base = t(base);
+            let t_no_async = t(Optimizations { async_load: false, ..base });
+            let t_no_dequant = t(Optimizations { milo_dequant: false, ..base });
+            let t_no_tile = t(Optimizations { tile_tuning: false, ..base });
+            assert!(
+                t_no_async >= t_no_dequant && t_no_async >= t_no_tile,
+                "{}: async {t_no_async}, dequant {t_no_dequant}, tile {t_no_tile}",
+                model.name()
+            );
+            assert!(t_no_async > t_base);
+        }
+    }
+
+    #[test]
+    fn dequant_matters_more_for_bigger_mlps() {
+        // Paper Fig. 10 conclusion (2).
+        let slowdown = |model: MlpModel| -> f64 {
+            let base = KernelConfig::new(KernelKind::MiloAsym);
+            let no_dq = KernelConfig {
+                kind: KernelKind::MiloAsym,
+                opts: Optimizations { milo_dequant: false, ..Optimizations::default() },
+            };
+            let tb: f64 = mlp_shapes(model, 16)
+                .into_iter()
+                .map(|s| gemm_time(&dev(), &base, s).unwrap())
+                .sum();
+            let tn: f64 = mlp_shapes(model, 16)
+                .into_iter()
+                .map(|s| gemm_time(&dev(), &no_dq, s).unwrap())
+                .sum();
+            tn / tb
+        };
+        assert!(
+            slowdown(MlpModel::Falcon180b) >= slowdown(MlpModel::DeepSeekMoe),
+            "falcon {} vs deepseek {}",
+            slowdown(MlpModel::Falcon180b),
+            slowdown(MlpModel::DeepSeekMoe)
+        );
+    }
+
+    #[test]
+    fn tile_tuning_matters_more_for_smaller_mlps() {
+        // Paper Fig. 10 conclusion (3).
+        let slowdown = |model: MlpModel| -> f64 {
+            let base = KernelConfig::new(KernelKind::MiloAsym);
+            let no_tile = KernelConfig {
+                kind: KernelKind::MiloAsym,
+                opts: Optimizations { tile_tuning: false, ..Optimizations::default() },
+            };
+            let tb: f64 = mlp_shapes(model, 16)
+                .into_iter()
+                .map(|s| gemm_time(&dev(), &base, s).unwrap())
+                .sum();
+            let tn: f64 = mlp_shapes(model, 16)
+                .into_iter()
+                .map(|s| gemm_time(&dev(), &no_tile, s).unwrap())
+                .sum();
+            tn / tb
+        };
+        let small = slowdown(MlpModel::DeepSeekMoe);
+        let large = slowdown(MlpModel::Falcon180b);
+        assert!(small >= large, "deepseek {small} vs falcon {large}");
+        assert!(small > 1.0, "tile tuning should matter on DeepSeek MLPs");
+    }
+
+    #[test]
+    fn tflops_never_exceed_device_peak() {
+        for model in MlpModel::all() {
+            for batch in [1usize, 16, 32] {
+                for kind in [KernelKind::MiloSym, KernelKind::MiloAsym, KernelKind::Marlin] {
+                    let cfg = KernelConfig::new(kind);
+                    for s in mlp_shapes(model, batch) {
+                        let tf = tflops(&dev(), &cfg, s).unwrap();
+                        assert!(tf > 0.0 && tf < 312.0, "{tf} TFLOPS out of range");
+                    }
+                }
+            }
+        }
+    }
+}

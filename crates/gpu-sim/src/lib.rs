@@ -1,0 +1,44 @@
+//! Analytical A100 performance model for mixed-precision GEMM kernels
+//! and end-to-end MoE inference latency.
+//!
+//! The paper's system results (Fig. 9 GeMM TFLOPS, Fig. 10 kernel
+//! ablation, Table 7 end-to-end latency) were measured on an NVIDIA A100.
+//! No GPU is available in this environment, so this crate substitutes an
+//! *analytical* model — a roofline with explicit terms for exactly the
+//! mechanisms the paper's kernel design manipulates:
+//!
+//! * **weight traffic** — bytes of packed weights + quantization
+//!   parameters streamed from HBM (INT3 moves 3/4 of INT4's bytes, the
+//!   root of MiLo's memory-bound advantage);
+//! * **pipeline overlap** — with asynchronous global weight loads
+//!   (`cuda::memcpy_async`) memory and compute phases overlap
+//!   (`max(mem, compute)`); without them they serialize (`mem + compute`).
+//!   This is the paper's most critical optimization (Fig. 10);
+//! * **de-quantization cost** — CUDA-core work per weight element:
+//!   cheap with the binary-manipulation path, several× more with naive
+//!   integer casts;
+//! * **global-reduction synchronization** — split-k reductions between
+//!   thread blocks, reduced by MoE-specific tile-shape tuning; matters
+//!   for small MLPs (DeepSeek-MoE) and vanishes for large ones
+//!   (Falcon-180B), as the paper observes;
+//! * **launch overhead** — per-kernel constants that penalize unfused
+//!   two-pass designs (Dequant + CUTLASS) and MARLIN's separate
+//!   zero-point handling for asymmetric models.
+//!
+//! Absolute numbers are calibrated to A100 datasheet constants with
+//! standard efficiency factors, not to the authors' testbed; what the
+//! model is designed to reproduce is the *shape* of the results — who
+//! wins, by what factor, and where the memory-/compute-bound crossovers
+//! fall.
+
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod e2e;
+pub mod kernels;
+pub mod shapes;
+
+pub use device::Device;
+pub use e2e::{end_to_end, Backend, E2eResult, ModelSpec};
+pub use kernels::{gemm_time, tflops, KernelConfig, KernelKind, Optimizations};
+pub use shapes::{mlp_shapes, GemmShape, MlpModel};

@@ -1,0 +1,208 @@
+//! Multi-head causal self-attention.
+//!
+//! The attention projections are the paper's canonical *dense* layers:
+//! always activated, heavy-tailed (Table 2), most rank-sensitive
+//! (§3.2.5). This is a straightforward batched implementation — no KV
+//! cache, since evaluation processes whole sequences at once.
+
+use crate::Result;
+use milo_tensor::Matrix;
+
+/// Multi-head causal self-attention with square projections.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attention {
+    /// Query projection, `d × d`.
+    pub wq: Matrix,
+    /// Key projection, `d × d`.
+    pub wk: Matrix,
+    /// Value projection, `d × d`.
+    pub wv: Matrix,
+    /// Output projection, `d × d`.
+    pub wo: Matrix,
+    n_heads: usize,
+}
+
+impl Attention {
+    /// Creates an attention block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the projections are not all `d × d` or `d` is not
+    /// divisible by `n_heads`.
+    pub fn new(wq: Matrix, wk: Matrix, wv: Matrix, wo: Matrix, n_heads: usize) -> Self {
+        let d = wq.rows();
+        for (name, w) in [("wq", &wq), ("wk", &wk), ("wv", &wv), ("wo", &wo)] {
+            assert_eq!(w.shape(), (d, d), "{name} must be {d}x{d}");
+        }
+        assert!(n_heads > 0 && d % n_heads == 0, "d={d} must divide by heads={n_heads}");
+        Self { wq, wk, wv, wo, n_heads }
+    }
+
+    /// Number of attention heads.
+    pub fn n_heads(&self) -> usize {
+        self.n_heads
+    }
+
+    /// Applies causal self-attention over a sequence (`seq × d`),
+    /// returning `seq × d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has the wrong width.
+    pub fn forward(&self, x: &Matrix) -> Result<Matrix> {
+        Ok(self.forward_with_ctx(x)?.1)
+    }
+
+    /// Like [`Attention::forward`] but also returns the pre-`wo` context
+    /// (the concatenated head outputs) — the input of the output
+    /// projection, needed by calibration capture.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `x` has the wrong width.
+    pub fn forward_with_ctx(&self, x: &Matrix) -> Result<(Matrix, Matrix)> {
+        let q = x.matmul(&self.wq.transpose())?;
+        let k = x.matmul(&self.wk.transpose())?;
+        let v = x.matmul(&self.wv.transpose())?;
+        let ctx = attend(&q, &k, &v, self.n_heads);
+        let out = ctx.matmul(&self.wo.transpose())?;
+        Ok((ctx, out))
+    }
+}
+
+/// Causal scaled-dot-product attention over already-projected `q`, `k`,
+/// `v` (each `seq × d`), returning the concatenated head context
+/// (`seq × d`). Shared by the FP32 model and the packed inference
+/// engine, which produce q/k/v through different GEMM paths.
+///
+/// # Panics
+///
+/// Panics if the shapes disagree or `d` is not divisible by `n_heads`.
+pub fn attend(q: &Matrix, k: &Matrix, v: &Matrix, n_heads: usize) -> Matrix {
+    let (seq, d) = q.shape();
+    assert_eq!(k.shape(), (seq, d), "k shape mismatch");
+    assert_eq!(v.shape(), (seq, d), "v shape mismatch");
+    assert!(n_heads > 0 && d % n_heads == 0, "bad head count");
+    let hd = d / n_heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut ctx = Matrix::zeros(seq, d);
+    for h in 0..n_heads {
+        let off = h * hd;
+        for i in 0..seq {
+            // Scores over positions 0..=i (causal mask).
+            let mut scores = Vec::with_capacity(i + 1);
+            let mut max_s = f32::NEG_INFINITY;
+            for j in 0..=i {
+                let mut s = 0.0;
+                for c in 0..hd {
+                    s += q[(i, off + c)] * k[(j, off + c)];
+                }
+                let s = s * scale;
+                max_s = max_s.max(s);
+                scores.push(s);
+            }
+            let mut denom = 0.0;
+            for s in &mut scores {
+                *s = (*s - max_s).exp();
+                denom += *s;
+            }
+            for (j, s) in scores.iter().enumerate() {
+                let w = s / denom;
+                for c in 0..hd {
+                    ctx[(i, off + c)] += w * v[(j, off + c)];
+                }
+            }
+        }
+    }
+    ctx
+}
+
+/// RMS normalization over the feature dimension (no learnable gain, as
+/// the synthetic models have no trained norm parameters).
+pub fn rms_norm(x: &Matrix) -> Matrix {
+    let d = x.cols();
+    Matrix::from_fn(x.rows(), d, |r, c| {
+        let row = x.row(r);
+        let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+        x[(r, c)] / (ms + 1e-6).sqrt()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_tensor::rng::WeightDist;
+    use rand::SeedableRng;
+
+    fn attn(d: usize, heads: usize, seed: u64) -> Attention {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let dist = WeightDist::Gaussian { std: 0.1 };
+        Attention::new(
+            dist.sample_matrix(d, d, &mut rng),
+            dist.sample_matrix(d, d, &mut rng),
+            dist.sample_matrix(d, d, &mut rng),
+            dist.sample_matrix(d, d, &mut rng),
+            heads,
+        )
+    }
+
+    #[test]
+    fn forward_preserves_shape() {
+        let a = attn(16, 2, 1);
+        let x = Matrix::filled(5, 16, 0.3);
+        assert_eq!(a.forward(&x).unwrap().shape(), (5, 16));
+    }
+
+    #[test]
+    fn causality_holds() {
+        // Changing a later token must not affect earlier outputs.
+        let a = attn(16, 2, 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let x1 = WeightDist::Gaussian { std: 1.0 }.sample_matrix(6, 16, &mut rng);
+        let mut x2 = x1.clone();
+        for c in 0..16 {
+            x2[(5, c)] += 10.0;
+        }
+        let y1 = a.forward(&x1).unwrap();
+        let y2 = a.forward(&x2).unwrap();
+        for i in 0..5 {
+            for c in 0..16 {
+                assert_eq!(y1[(i, c)], y2[(i, c)], "position {i} leaked future info");
+            }
+        }
+        // The changed position itself must differ.
+        assert_ne!(y1.row(5), y2.row(5));
+    }
+
+    #[test]
+    fn single_token_attends_to_itself() {
+        let a = attn(8, 1, 4);
+        let x = Matrix::filled(1, 8, 0.5);
+        // With one token, attention weights are all 1 on itself:
+        // y = wo · wv · x.
+        let v = x.matmul(&a.wv.transpose()).unwrap();
+        let expected = v.matmul(&a.wo.transpose()).unwrap();
+        let y = a.forward(&x).unwrap();
+        for (p, q) in y.as_slice().iter().zip(expected.as_slice()) {
+            assert!((p - q).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rms_norm_produces_unit_rms() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = WeightDist::Gaussian { std: 3.0 }.sample_matrix(4, 32, &mut rng);
+        let y = rms_norm(&x);
+        for r in 0..4 {
+            let ms: f32 = y.row(r).iter().map(|v| v * v).sum::<f32>() / 32.0;
+            assert!((ms - 1.0).abs() < 1e-3, "row {r} rms² {ms}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide by heads")]
+    fn bad_head_count_panics() {
+        let w = Matrix::zeros(10, 10);
+        let _ = Attention::new(w.clone(), w.clone(), w.clone(), w, 3);
+    }
+}

@@ -1,0 +1,150 @@
+//! Expert pruning — the paper's stated future-work combination
+//! ("combining MiLo with other MoE compression techniques, such as
+//! pruning", §5).
+//!
+//! Pruning drops the least-activated experts of each MoE layer entirely
+//! (router rows included); the kept experts are re-indexed. Combined
+//! with MiLo quantization this trades a little routing fidelity for a
+//! large additional memory cut — the `extra_pruning_combo` experiment
+//! binary evaluates the trade.
+
+use crate::model::{FfnBlock, MoeBlock, MoeModel};
+use crate::profile::FrequencyProfile;
+use crate::router::Router;
+use crate::{MoeError, Result};
+use milo_tensor::Matrix;
+
+/// Returns a copy of `model` where every MoE layer keeps only its `keep`
+/// most-frequently-activated experts (per `profile`), with routers
+/// shrunk accordingly. Dense layers and shared experts are untouched.
+///
+/// # Errors
+///
+/// Returns [`MoeError::InvalidInput`] if `keep` is zero or exceeds the
+/// expert count, or if the profile does not cover the model.
+pub fn prune_experts(
+    model: &MoeModel,
+    profile: &FrequencyProfile,
+    keep: usize,
+) -> Result<MoeModel> {
+    if keep == 0 {
+        return Err(MoeError::InvalidInput("must keep at least one expert".into()));
+    }
+    let mut out = model.clone();
+    for (li, layer) in out.layers.iter_mut().enumerate() {
+        let FfnBlock::Moe(moe) = &mut layer.ffn else {
+            continue;
+        };
+        let n = moe.experts.len();
+        if keep > n {
+            return Err(MoeError::InvalidInput(format!(
+                "keep {keep} exceeds {n} experts in layer {li}"
+            )));
+        }
+        let freqs = &profile.per_layer.get(li).cloned().unwrap_or_default();
+        if freqs.len() != n {
+            return Err(MoeError::InvalidInput(format!(
+                "profile covers {} experts in layer {li}, model has {n}",
+                freqs.len()
+            )));
+        }
+        // Rank experts by activation frequency, descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| freqs[b].partial_cmp(&freqs[a]).expect("finite frequencies"));
+        let mut kept: Vec<usize> = order[..keep].to_vec();
+        kept.sort_unstable(); // stable re-indexing
+
+        let d = moe.router.weight.cols();
+        let mut router_w = Matrix::zeros(keep, d);
+        let mut bias = Vec::with_capacity(keep);
+        let mut experts = Vec::with_capacity(keep);
+        for (new_idx, &old_idx) in kept.iter().enumerate() {
+            router_w.row_mut(new_idx).copy_from_slice(moe.router.weight.row(old_idx));
+            bias.push(moe.router.bias[old_idx]);
+            experts.push(moe.experts[old_idx].clone());
+        }
+        let top_k = moe.router.top_k().min(keep);
+        *moe = MoeBlock {
+            router: Router::new(router_w, bias, top_k),
+            experts,
+            shared: moe.shared.clone(),
+        };
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MoeConfig;
+    use crate::profile::profile_expert_frequency;
+    use crate::tensors::layer_tensors;
+
+    fn setup() -> (MoeModel, FrequencyProfile) {
+        let model = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 21);
+        let corpus: Vec<Vec<u32>> = (0..6).map(|i| (i..i + 12).map(|t| t % 64).collect()).collect();
+        let profile = profile_expert_frequency(&model, &corpus).expect("profile");
+        (model, profile)
+    }
+
+    #[test]
+    fn pruned_model_has_fewer_experts() {
+        let (model, profile) = setup();
+        let pruned = prune_experts(&model, &profile, 2).unwrap();
+        for layer in &pruned.layers {
+            if let FfnBlock::Moe(moe) = &layer.ffn {
+                assert_eq!(moe.experts.len(), 2);
+                assert_eq!(moe.router.n_experts(), 2);
+                assert_eq!(moe.router.top_k(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_model_still_runs() {
+        let (model, profile) = setup();
+        let pruned = prune_experts(&model, &profile, 2).unwrap();
+        let logits = pruned.forward(&[1, 2, 3, 4]).unwrap();
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn keeps_the_most_frequent_experts() {
+        let (model, profile) = setup();
+        let keep = 2;
+        let pruned = prune_experts(&model, &profile, keep).unwrap();
+        // The kept experts' total frequency share must be at least
+        // keep/n of the mass (they're the top ones).
+        for (li, layer) in model.layers.iter().enumerate() {
+            let FfnBlock::Moe(moe) = &layer.ffn else { continue };
+            let mut freqs = profile.per_layer[li].clone();
+            freqs.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let top_share: f32 = freqs[..keep].iter().sum();
+            assert!(top_share >= keep as f32 / moe.experts.len() as f32);
+        }
+        // Parameter count shrinks proportionally.
+        let before = layer_tensors(&model, None).len();
+        let after = layer_tensors(&pruned, None).len();
+        assert!(after < before);
+    }
+
+    #[test]
+    fn pruning_everything_or_nothing_is_rejected() {
+        let (model, profile) = setup();
+        assert!(prune_experts(&model, &profile, 0).is_err());
+        assert!(prune_experts(&model, &profile, 99).is_err());
+    }
+
+    #[test]
+    fn keep_all_is_behavior_preserving() {
+        let (model, profile) = setup();
+        let n = match &model.layers[0].ffn {
+            FfnBlock::Moe(moe) => moe.experts.len(),
+            _ => unreachable!(),
+        };
+        let same = prune_experts(&model, &profile, n).unwrap();
+        let a = model.forward(&[3, 1, 4, 1]).unwrap();
+        let b = same.forward(&[3, 1, 4, 1]).unwrap();
+        assert_eq!(a, b);
+    }
+}

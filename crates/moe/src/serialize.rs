@@ -1,0 +1,260 @@
+//! Binary serialization of the synthetic MoE models, so a reference model
+//! can be shared between the quantization run and later evaluation runs
+//! (the role the HuggingFace checkpoint directory plays in the paper's
+//! artifact).
+
+use crate::attention::Attention;
+use crate::config::MoeConfig;
+use crate::mlp::Mlp;
+use crate::model::{FfnBlock, MoeBlock, MoeModel, TransformerLayer};
+use crate::router::Router;
+use milo_tensor::io::{
+    expect_tag, read_f32, read_f32_vec, read_matrix, read_string, read_u32, read_u64,
+    write_f32, write_f32_slice, write_matrix, write_string, write_tag, write_u32, write_u64,
+};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 4] = b"MOEM";
+const VERSION: u32 = 1;
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_config(w: &mut impl Write, c: &MoeConfig) -> io::Result<()> {
+    write_string(w, &c.name)?;
+    for v in [
+        c.n_layers,
+        c.d_model,
+        c.n_heads,
+        c.vocab,
+        c.n_experts,
+        c.top_k,
+        c.expert_ffn,
+        c.n_shared_experts,
+        c.shared_ffn,
+    ] {
+        write_u64(w, v as u64)?;
+    }
+    write_u32(w, c.first_layer_dense as u32)?;
+    for v in [c.router_imbalance, c.attn_dof, c.expert_channel_spread, c.head_gain] {
+        write_f32(w, v)?;
+    }
+    Ok(())
+}
+
+fn read_config(r: &mut impl Read) -> io::Result<MoeConfig> {
+    let name = read_string(r)?;
+    let mut us = [0usize; 9];
+    for v in &mut us {
+        *v = read_u64(r)? as usize;
+    }
+    let first_layer_dense = read_u32(r)? != 0;
+    let mut fs = [0f32; 4];
+    for v in &mut fs {
+        *v = read_f32(r)?;
+    }
+    Ok(MoeConfig {
+        name,
+        n_layers: us[0],
+        d_model: us[1],
+        n_heads: us[2],
+        vocab: us[3],
+        n_experts: us[4],
+        top_k: us[5],
+        expert_ffn: us[6],
+        n_shared_experts: us[7],
+        shared_ffn: us[8],
+        first_layer_dense,
+        router_imbalance: fs[0],
+        attn_dof: fs[1],
+        expert_channel_spread: fs[2],
+        head_gain: fs[3],
+    })
+}
+
+fn write_mlp(w: &mut impl Write, m: &Mlp) -> io::Result<()> {
+    write_matrix(w, &m.w1)?;
+    write_matrix(w, &m.w2)?;
+    write_matrix(w, &m.w3)
+}
+
+fn read_mlp(r: &mut impl Read) -> io::Result<Mlp> {
+    let w1 = read_matrix(r)?;
+    let w2 = read_matrix(r)?;
+    let w3 = read_matrix(r)?;
+    if w1.shape() != w3.shape() || w2.shape() != (w1.cols(), w1.rows()) {
+        return Err(invalid("inconsistent MLP projection shapes"));
+    }
+    Ok(Mlp::new(w1, w2, w3))
+}
+
+/// Writes an [`MoeModel`] to a binary stream.
+///
+/// # Errors
+///
+/// Propagates IO failures.
+pub fn write_model(w: &mut impl Write, model: &MoeModel) -> io::Result<()> {
+    write_tag(w, MAGIC)?;
+    write_u32(w, VERSION)?;
+    write_config(w, &model.config)?;
+    write_matrix(w, &model.embed)?;
+    write_matrix(w, &model.head)?;
+    write_u64(w, model.layers.len() as u64)?;
+    for layer in &model.layers {
+        for m in [&layer.attn.wq, &layer.attn.wk, &layer.attn.wv, &layer.attn.wo] {
+            write_matrix(w, m)?;
+        }
+        write_u64(w, layer.attn.n_heads() as u64)?;
+        match &layer.ffn {
+            FfnBlock::Dense(mlp) => {
+                write_u32(w, 0)?;
+                write_mlp(w, mlp)?;
+            }
+            FfnBlock::Moe(moe) => {
+                write_u32(w, 1)?;
+                write_matrix(w, &moe.router.weight)?;
+                write_f32_slice(w, &moe.router.bias)?;
+                write_u64(w, moe.router.top_k() as u64)?;
+                write_u64(w, moe.experts.len() as u64)?;
+                for e in &moe.experts {
+                    write_mlp(w, e)?;
+                }
+                write_u64(w, moe.shared.len() as u64)?;
+                for s in &moe.shared {
+                    write_mlp(w, s)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads an [`MoeModel`] from a binary stream.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed input or unsupported versions.
+pub fn read_model(r: &mut impl Read) -> io::Result<MoeModel> {
+    expect_tag(r, MAGIC)?;
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(invalid(format!("unsupported model format version {version}")));
+    }
+    let config = read_config(r)?;
+    let embed = read_matrix(r)?;
+    let head = read_matrix(r)?;
+    let n_layers = read_u64(r)? as usize;
+    if n_layers > 1 << 16 {
+        return Err(invalid("layer count exceeds sanity limit"));
+    }
+    let mut layers = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        let wq = read_matrix(r)?;
+        let wk = read_matrix(r)?;
+        let wv = read_matrix(r)?;
+        let wo = read_matrix(r)?;
+        let n_heads = read_u64(r)? as usize;
+        let d = wq.rows();
+        if wq.shape() != (d, d) || n_heads == 0 || d % n_heads != 0 {
+            return Err(invalid("inconsistent attention shapes"));
+        }
+        let attn = Attention::new(wq, wk, wv, wo, n_heads);
+        let ffn = match read_u32(r)? {
+            0 => FfnBlock::Dense(read_mlp(r)?),
+            1 => {
+                let router_w = read_matrix(r)?;
+                let bias = read_f32_vec(r)?;
+                let top_k = read_u64(r)? as usize;
+                if bias.len() != router_w.rows() || top_k == 0 || top_k > router_w.rows() {
+                    return Err(invalid("inconsistent router"));
+                }
+                let router = Router::new(router_w, bias, top_k);
+                let n_experts = read_u64(r)? as usize;
+                let mut experts = Vec::with_capacity(n_experts.min(1 << 16));
+                for _ in 0..n_experts {
+                    experts.push(read_mlp(r)?);
+                }
+                let n_shared = read_u64(r)? as usize;
+                let mut shared = Vec::with_capacity(n_shared.min(1 << 16));
+                for _ in 0..n_shared {
+                    shared.push(read_mlp(r)?);
+                }
+                if experts.len() != router.n_experts() {
+                    return Err(invalid("router/expert count mismatch"));
+                }
+                FfnBlock::Moe(MoeBlock { router, experts, shared })
+            }
+            other => return Err(invalid(format!("unknown FFN tag {other}"))),
+        };
+        layers.push(TransformerLayer { attn, ffn });
+    }
+    Ok(MoeModel { config, embed, head, layers })
+}
+
+/// Saves a model to a file.
+///
+/// # Errors
+///
+/// Propagates filesystem and serialization failures.
+pub fn save_model(path: &std::path::Path, model: &MoeModel) -> io::Result<()> {
+    let mut file = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_model(&mut file, model)
+}
+
+/// Loads a model from a file.
+///
+/// # Errors
+///
+/// Propagates filesystem and deserialization failures.
+pub fn load_model(path: &std::path::Path) -> io::Result<MoeModel> {
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+    read_model(&mut file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn mixtral_like_round_trips_exactly() {
+        let model = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 3);
+        let mut buf = Vec::new();
+        write_model(&mut buf, &model).unwrap();
+        let out = read_model(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(out, model);
+    }
+
+    #[test]
+    fn deepseek_like_round_trips_exactly() {
+        let model = MoeModel::synthesize(&MoeConfig::tiny_deepseek(), 4);
+        let mut buf = Vec::new();
+        write_model(&mut buf, &model).unwrap();
+        let out = read_model(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(out, model);
+        // Loaded model computes identically.
+        let tokens = [1u32, 2, 3];
+        assert_eq!(out.forward(&tokens).unwrap(), model.forward(&tokens).unwrap());
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let model = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 5);
+        let mut buf = Vec::new();
+        write_model(&mut buf, &model).unwrap();
+        buf[1] = b'X';
+        assert!(read_model(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let model = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 6);
+        let dir = std::env::temp_dir().join("milo_moe_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.moem");
+        save_model(&path, &model).unwrap();
+        assert_eq!(load_model(&path).unwrap(), model);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,285 @@
+//! Bridging the MoE model and the MiLo compressor: enumerate quantizable
+//! weights with their policy metadata, and substitute compressed weights
+//! back into a model for evaluation.
+//!
+//! Routers, embeddings, and the output head stay in full precision —
+//! they are a negligible fraction of MoE memory and the paper (like all
+//! the weight-only baselines it compares against) quantizes only the
+//! large projection matrices.
+
+use crate::model::{FfnBlock, MoeModel};
+use crate::profile::FrequencyProfile;
+use crate::{MoeError, Result};
+use milo_core::{CompressedModel, LayerKind, LayerMeta, LayerTensor};
+use milo_tensor::{stats, Matrix};
+use std::collections::HashMap;
+
+/// Visits every quantizable weight with its name and layer kind.
+fn for_each_weight(model: &MoeModel, mut f: impl FnMut(String, LayerKind, &Matrix)) {
+    for (li, layer) in model.layers.iter().enumerate() {
+        for (suffix, w) in [
+            ("wq", &layer.attn.wq),
+            ("wk", &layer.attn.wk),
+            ("wv", &layer.attn.wv),
+            ("wo", &layer.attn.wo),
+        ] {
+            f(format!("layer{li}.attn.{suffix}"), LayerKind::Attention, w);
+        }
+        match &layer.ffn {
+            FfnBlock::Dense(mlp) => {
+                for (suffix, w) in [("w1", &mlp.w1), ("w2", &mlp.w2), ("w3", &mlp.w3)] {
+                    f(format!("layer{li}.dense.{suffix}"), LayerKind::DenseFfn, w);
+                }
+            }
+            FfnBlock::Moe(moe) => {
+                for (e, mlp) in moe.experts.iter().enumerate() {
+                    for (suffix, w) in [("w1", &mlp.w1), ("w2", &mlp.w2), ("w3", &mlp.w3)] {
+                        f(
+                            format!("layer{li}.expert{e}.{suffix}"),
+                            LayerKind::Expert { index: e },
+                            w,
+                        );
+                    }
+                }
+                for (s, mlp) in moe.shared.iter().enumerate() {
+                    for (suffix, w) in [("w1", &mlp.w1), ("w2", &mlp.w2), ("w3", &mlp.w3)] {
+                        f(
+                            format!("layer{li}.shared{s}.{suffix}"),
+                            LayerKind::SharedExpert,
+                            w,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Visits every quantizable weight mutably with its name.
+fn for_each_weight_mut(model: &mut MoeModel, mut f: impl FnMut(&str, &mut Matrix)) {
+    for (li, layer) in model.layers.iter_mut().enumerate() {
+        for (suffix, w) in [
+            ("wq", &mut layer.attn.wq),
+            ("wk", &mut layer.attn.wk),
+            ("wv", &mut layer.attn.wv),
+            ("wo", &mut layer.attn.wo),
+        ] {
+            f(&format!("layer{li}.attn.{suffix}"), w);
+        }
+        match &mut layer.ffn {
+            FfnBlock::Dense(mlp) => {
+                for (suffix, w) in
+                    [("w1", &mut mlp.w1), ("w2", &mut mlp.w2), ("w3", &mut mlp.w3)]
+                {
+                    f(&format!("layer{li}.dense.{suffix}"), w);
+                }
+            }
+            FfnBlock::Moe(moe) => {
+                for (e, mlp) in moe.experts.iter_mut().enumerate() {
+                    for (suffix, w) in
+                        [("w1", &mut mlp.w1), ("w2", &mut mlp.w2), ("w3", &mut mlp.w3)]
+                    {
+                        f(&format!("layer{li}.expert{e}.{suffix}"), w);
+                    }
+                }
+                for (s, mlp) in moe.shared.iter_mut().enumerate() {
+                    for (suffix, w) in
+                        [("w1", &mut mlp.w1), ("w2", &mut mlp.w2), ("w3", &mut mlp.w3)]
+                    {
+                        f(&format!("layer{li}.shared{s}.{suffix}"), w);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the layer index from a tensor name (`"layer{i}. ..."`).
+fn layer_index(name: &str) -> usize {
+    name.strip_prefix("layer")
+        .and_then(|rest| rest.split('.').next())
+        .and_then(|n| n.parse().ok())
+        .expect("tensor names start with layer{i}.")
+}
+
+/// Enumerates every quantizable weight as a [`LayerTensor`] with
+/// kurtosis and (if a profile is given) expert activation frequency
+/// filled in — exactly what [`milo_core::compress_model`] consumes.
+pub fn layer_tensors(model: &MoeModel, freq: Option<&FrequencyProfile>) -> Vec<LayerTensor> {
+    let mut out = Vec::new();
+    for_each_weight(model, |name, kind, w| {
+        let (rows, cols) = w.shape();
+        let frequency = match (kind, freq) {
+            (LayerKind::Expert { index }, Some(p)) => {
+                p.frequency(layer_index(&name), index)
+            }
+            (LayerKind::Expert { .. }, None) => 0.0,
+            _ => 1.0,
+        };
+        out.push(LayerTensor {
+            name,
+            meta: LayerMeta {
+                kind,
+                rows,
+                cols,
+                kurtosis: stats::matrix_kurtosis(w),
+                frequency,
+            },
+            weight: w.clone(),
+        });
+    });
+    out
+}
+
+/// Builds an inference model from a compressed model by replacing every
+/// compressed layer's weight with its effective reconstruction
+/// `Q⁻¹(W_q) + U·V`.
+///
+/// # Errors
+///
+/// Returns [`MoeError::WeightMismatch`] if a compressed layer's name or
+/// shape does not match the model.
+pub fn apply_compressed(model: &MoeModel, compressed: &CompressedModel) -> Result<MoeModel> {
+    let mut effective: HashMap<&str, Matrix> = HashMap::new();
+    for rec in &compressed.layers {
+        effective.insert(rec.name.as_str(), rec.layer.effective_weight());
+    }
+
+    let mut out = model.clone();
+    let mut error: Option<MoeError> = None;
+    let mut replaced = 0usize;
+    for_each_weight_mut(&mut out, |name, w| {
+        if let Some(new_w) = effective.remove(name) {
+            if new_w.shape() != w.shape() {
+                error.get_or_insert(MoeError::WeightMismatch(format!(
+                    "layer {name}: model is {:?}, compressed is {:?}",
+                    w.shape(),
+                    new_w.shape()
+                )));
+                return;
+            }
+            *w = new_w;
+            replaced += 1;
+        }
+    });
+    if let Some(e) = error {
+        return Err(e);
+    }
+    if let Some(name) = effective.keys().next() {
+        return Err(MoeError::WeightMismatch(format!(
+            "compressed layer {name} does not exist in the model"
+        )));
+    }
+    if replaced == 0 {
+        return Err(MoeError::WeightMismatch(
+            "compressed model shares no layers with this model".into(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MoeConfig;
+    use crate::profile::profile_expert_frequency;
+    use milo_core::{compress_model, MiloOptions, RankPolicy};
+    use milo_quant::HqqOptions;
+
+    fn fast_opts() -> MiloOptions {
+        MiloOptions {
+            max_iters: 1,
+            hqq: HqqOptions { max_iters: 3, ..HqqOptions::default() },
+            compensator_cfg: None,
+            ..MiloOptions::default()
+        }
+    }
+
+    #[test]
+    fn tensor_enumeration_counts_match_architecture() {
+        let cfg = MoeConfig::tiny_mixtral();
+        let m = MoeModel::synthesize(&cfg, 1);
+        let tensors = layer_tensors(&m, None);
+        // Per layer: 4 attention + n_experts × 3.
+        let expected = cfg.n_layers * (4 + cfg.n_experts * 3);
+        assert_eq!(tensors.len(), expected);
+    }
+
+    #[test]
+    fn deepseek_enumeration_includes_dense_and_shared() {
+        let cfg = MoeConfig::tiny_deepseek();
+        let m = MoeModel::synthesize(&cfg, 2);
+        let tensors = layer_tensors(&m, None);
+        assert!(tensors.iter().any(|t| t.name.contains("dense")));
+        assert!(tensors.iter().any(|t| t.name.contains("shared")));
+        let dense_count =
+            tensors.iter().filter(|t| matches!(t.meta.kind, LayerKind::DenseFfn)).count();
+        assert_eq!(dense_count, 3); // first layer only
+    }
+
+    #[test]
+    fn expert_frequency_is_attached() {
+        let cfg = MoeConfig::tiny_mixtral();
+        let m = MoeModel::synthesize(&cfg, 3);
+        let corpus = vec![vec![1u32, 2, 3, 4, 5, 6, 7, 8]];
+        let profile = profile_expert_frequency(&m, &corpus).unwrap();
+        let tensors = layer_tensors(&m, Some(&profile));
+        let expert_freqs: Vec<f32> = tensors
+            .iter()
+            .filter(|t| matches!(t.meta.kind, LayerKind::Expert { .. }))
+            .map(|t| t.meta.frequency)
+            .collect();
+        assert!(expert_freqs.iter().any(|&f| f > 0.0));
+        for t in tensors.iter().filter(|t| t.meta.kind.is_dense()) {
+            assert_eq!(t.meta.frequency, 1.0);
+        }
+    }
+
+    #[test]
+    fn apply_compressed_round_trips_structure() {
+        let cfg = MoeConfig::tiny_mixtral();
+        let m = MoeModel::synthesize(&cfg, 4);
+        let tensors = layer_tensors(&m, None);
+        let compressed =
+            compress_model(&tensors, &RankPolicy::dense_only(4), &fast_opts(), 2).unwrap();
+        let restored = apply_compressed(&m, &compressed).unwrap();
+        // Same architecture, different (quantized) weights.
+        assert_eq!(restored.layers.len(), m.layers.len());
+        assert_ne!(restored.layers[0].attn.wq, m.layers[0].attn.wq);
+        // Routers and embeddings untouched.
+        assert_eq!(restored.embed, m.embed);
+    }
+
+    #[test]
+    fn compressed_model_is_close_to_original() {
+        let cfg = MoeConfig::tiny_mixtral();
+        let m = MoeModel::synthesize(&cfg, 5);
+        let tensors = layer_tensors(&m, None);
+        let compressed =
+            compress_model(&tensors, &RankPolicy::uniform(8), &fast_opts(), 2).unwrap();
+        let restored = apply_compressed(&m, &compressed).unwrap();
+        let w = &m.layers[0].attn.wq;
+        let w_hat = &restored.layers[0].attn.wq;
+        let rel = stats::relative_frobenius_error(w, w_hat);
+        assert!(rel < 0.5, "relative error {rel} unreasonably large");
+    }
+
+    #[test]
+    fn mismatched_compressed_model_is_rejected() {
+        let a = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 6);
+        let b = MoeModel::synthesize(&MoeConfig::tiny_deepseek(), 7);
+        let tensors = layer_tensors(&b, None);
+        let compressed =
+            compress_model(&tensors, &RankPolicy::dense_only(2), &fast_opts(), 2).unwrap();
+        assert!(matches!(
+            apply_compressed(&a, &compressed),
+            Err(MoeError::WeightMismatch(_))
+        ));
+    }
+
+    #[test]
+    fn layer_index_parser() {
+        assert_eq!(layer_index("layer0.attn.wq"), 0);
+        assert_eq!(layer_index("layer12.expert3.w1"), 12);
+    }
+}

@@ -1,0 +1,94 @@
+//! INT4 packing — the deployment layout of the W4A16 baseline kernels
+//! (MARLIN-class) that the paper compares against.
+//!
+//! INT4 is a power of two, so packing is naturally waste-free: eight
+//! 4-bit codes per `u32`, four nibbles in each FP16 lane:
+//!
+//! ```text
+//! bits  0..16 : four codes in the low  FP16 lane (4 bits each)
+//! bits 16..32 : four codes in the high FP16 lane
+//! ```
+//!
+//! Slot `s ∈ 0..4` of the low lane holds weight `2s`, slot `s` of the
+//! high lane holds `2s + 1`, so the same paired-lane extraction used by
+//! the INT3 path applies: `(w >> 4k) & 0x000F000F | 0x6400_6400` is the
+//! half2 pair `[1024 + e_lo, 1024 + e_hi]`.
+
+/// Codes per packed word.
+pub const PER_WORD: usize = 8;
+
+/// Mask selecting a 4-bit payload at the base of each FP16 lane.
+pub const LANE_MASK4: u32 = 0x000F_000F;
+
+/// Packs 8 INT4 codes into one `u32`.
+///
+/// # Panics
+///
+/// Panics (debug) if any code exceeds 15.
+pub fn pack_word4(codes: &[u8; PER_WORD]) -> u32 {
+    debug_assert!(codes.iter().all(|&c| c <= 15), "INT4 codes must be 0..16");
+    let mut w = 0u32;
+    for s in 0..4 {
+        w |= (codes[2 * s] as u32) << (4 * s); // low lane
+        w |= (codes[2 * s + 1] as u32) << (16 + 4 * s); // high lane
+    }
+    w
+}
+
+/// Unpacks one `u32` into 8 INT4 codes (inverse of [`pack_word4`]).
+pub fn unpack_word4(word: u32) -> [u8; PER_WORD] {
+    let mut out = [0u8; PER_WORD];
+    for s in 0..4 {
+        out[2 * s] = ((word >> (4 * s)) & 0xF) as u8;
+        out[2 * s + 1] = ((word >> (16 + 4 * s)) & 0xF) as u8;
+    }
+    out
+}
+
+/// Storage bytes for `n` INT4 codes.
+pub fn int4_bytes(n: usize) -> usize {
+    n.div_ceil(PER_WORD) * 4
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let mut codes = [0u8; PER_WORD];
+            for c in &mut codes {
+                *c = rng.gen_range(0..16);
+            }
+            assert_eq!(unpack_word4(pack_word4(&codes)), codes);
+        }
+    }
+
+    #[test]
+    fn every_bit_is_significant() {
+        let codes = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let word = pack_word4(&codes);
+        for bit in 0..32 {
+            assert_ne!(unpack_word4(word ^ (1 << bit)), codes, "bit {bit} silent");
+        }
+    }
+
+    #[test]
+    fn lane_layout_matches_documentation() {
+        let mut codes = [0u8; PER_WORD];
+        codes[0] = 0xA; // low lane slot 0
+        codes[1] = 0x5; // high lane slot 0
+        let w = pack_word4(&codes);
+        assert_eq!(w & LANE_MASK4, 0xA | (0x5 << 16));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        assert_eq!(int4_bytes(8), 4);
+        assert_eq!(int4_bytes(9), 8);
+        assert_eq!(int4_bytes(64), 32);
+    }
+}

@@ -1,0 +1,338 @@
+//! A weight matrix in the packed INT3 deployment layout.
+//!
+//! The paper's kernel loads weights in units of three `u32` words per
+//! 32-weight group, which breaks alignment for bulk (128-bit) loads. The
+//! fix (§3.3) is to split the storage into **two** arrays: a *main* array
+//! holding the first two words of each group (naturally 8-byte aligned)
+//! and a *tail* array holding the third word. [`PackedMatrix`] mirrors
+//! that split.
+
+use crate::dequant::{dequant_word_asym, dequant_word_sym};
+use crate::layout::{pack_group, virtual_word, GROUP};
+use crate::{PackError, Result};
+use milo_quant::{QuantizedMatrix, Scheme};
+use milo_tensor::{F16, Matrix};
+
+/// A weight matrix in some packed deployment layout, de-quantizable in
+/// 32-element strips — the interface the fused GEMM kernel consumes.
+/// Implemented by the INT3 [`PackedMatrix`] and the INT4
+/// [`Packed4Matrix`](crate::matrix4::Packed4Matrix).
+pub trait PackedWeight {
+    /// Number of rows (output features).
+    fn rows(&self) -> usize;
+
+    /// Number of columns (input features / reduction dimension).
+    fn cols(&self) -> usize;
+
+    /// The quantization group size.
+    fn group_size(&self) -> usize;
+
+    /// De-quantizes the 32 weights of packing strip `g` in row `r` into
+    /// FP16 values.
+    fn dequant_group32(&self, r: usize, g: usize) -> [F16; 32];
+
+    /// Materializes the whole matrix as dense `f32` through the packed
+    /// de-quantization path.
+    fn dequantize_dense(&self) -> Matrix {
+        let strips = self.cols() / 32;
+        let mut out = Matrix::zeros(self.rows(), self.cols());
+        for r in 0..self.rows() {
+            for g in 0..strips {
+                let vals = self.dequant_group32(r, g);
+                let row = out.row_mut(r);
+                for (i, v) in vals.iter().enumerate() {
+                    row[g * 32 + i] = v.to_f32();
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A 3-bit quantized weight matrix in the zero-waste packed layout,
+/// split into main/tail word arrays.
+///
+/// # Examples
+///
+/// ```
+/// use milo_pack::PackedMatrix;
+/// use milo_quant::{rtn_quantize, QuantConfig};
+/// use milo_tensor::{rng::WeightDist, stats};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(4, 64, &mut rng);
+/// let q = rtn_quantize(&w, &QuantConfig::int3_asym())?;
+/// let packed = PackedMatrix::pack(&q).expect("3-bit, 64-wide: packable");
+///
+/// // 3 bits/weight + FP16 scale+zero per group of 64:
+/// assert_eq!(packed.memory_bytes(), 4 * 64 * 3 / 8 + 4 * 4);
+/// // The FP16 bit-trick dequant path agrees with the reference.
+/// let err = stats::relative_frobenius_error(&q.dequantize(), &packed.dequantize());
+/// assert!(err < 5e-3);
+/// # Ok::<(), milo_quant::QuantError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedMatrix {
+    rows: usize,
+    cols: usize,
+    /// Two words per 32-weight group, row-major by (row, group).
+    main: Vec<u32>,
+    /// One word per 32-weight group, same order.
+    tail: Vec<u32>,
+    /// Per-quant-group scales (grid step for symmetric schemes).
+    scales: Vec<f32>,
+    /// Per-quant-group zero-points (empty for symmetric schemes).
+    zeros: Vec<f32>,
+    group_size: usize,
+    scheme: Scheme,
+}
+
+impl PackedMatrix {
+    /// Packs an unpacked [`QuantizedMatrix`] into the deployment layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackError::Unsupported`] unless the matrix is 3-bit with
+    /// a quantization group size that is a multiple of 32 (so no packing
+    /// group straddles a scale boundary), and [`PackError::InvalidShape`]
+    /// unless the column count is a multiple of 32.
+    pub fn pack(q: &QuantizedMatrix) -> Result<Self> {
+        let cfg = q.config();
+        if cfg.bits() != 3 {
+            return Err(PackError::Unsupported(format!(
+                "packed layout is 3-bit only, got {} bits",
+                cfg.bits()
+            )));
+        }
+        if cfg.group_size() % GROUP != 0 {
+            return Err(PackError::Unsupported(format!(
+                "quant group size {} must be a multiple of {GROUP}",
+                cfg.group_size()
+            )));
+        }
+        let (rows, cols) = q.shape();
+        if cols % GROUP != 0 {
+            return Err(PackError::InvalidShape(format!(
+                "column count {cols} is not a multiple of {GROUP}"
+            )));
+        }
+
+        let groups_per_row = cols / GROUP;
+        let mut main = Vec::with_capacity(rows * groups_per_row * 2);
+        let mut tail = Vec::with_capacity(rows * groups_per_row);
+        for r in 0..rows {
+            let row = &q.codes()[r * cols..(r + 1) * cols];
+            for g in 0..groups_per_row {
+                let mut chunk = [0u8; GROUP];
+                chunk.copy_from_slice(&row[g * GROUP..(g + 1) * GROUP]);
+                let words = pack_group(&chunk);
+                main.push(words[0]);
+                main.push(words[1]);
+                tail.push(words[2]);
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            main,
+            tail,
+            scales: q.scales().to_vec(),
+            zeros: q.zeros().to_vec(),
+            group_size: cfg.group_size(),
+            scheme: cfg.scheme(),
+        })
+    }
+
+    /// Number of rows (output features).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (input features / reduction dimension).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The quantization scheme the weights were produced with.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The quantization group size (64 in all paper experiments).
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// The three physical words of packing group `g` in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn group_words(&self, r: usize, g: usize) -> [u32; 3] {
+        let groups_per_row = self.cols / GROUP;
+        assert!(r < self.rows && g < groups_per_row, "group ({r},{g}) out of range");
+        let gi = r * groups_per_row + g;
+        [self.main[2 * gi], self.main[2 * gi + 1], self.tail[gi]]
+    }
+
+    /// De-quantizes one packing group into 32 FP16 values using the MiLo
+    /// binary-manipulation path.
+    pub fn dequant_group(&self, r: usize, g: usize) -> [F16; GROUP] {
+        let words = self.group_words(r, g);
+        // Quant groups are >= 32 and multiples of 32, so one scale covers
+        // the whole packing group.
+        let qgroups_per_row = self.cols.div_ceil(self.group_size);
+        let qg = r * qgroups_per_row + (g * GROUP) / self.group_size;
+        let scale = self.scales[qg];
+
+        let logical = [words[0], words[1], words[2], virtual_word(&words)];
+        let mut out = [F16::ZERO; GROUP];
+        match self.scheme {
+            Scheme::Symmetric => {
+                let step = F16::from_f32(scale);
+                for (w, &word) in logical.iter().enumerate() {
+                    let vals = dequant_word_sym(word, step);
+                    out[8 * w..8 * w + 8].copy_from_slice(&vals);
+                }
+            }
+            Scheme::Asymmetric => {
+                let zero = self.zeros[qg];
+                let s = F16::from_f32(scale);
+                let neg_zs = F16::from_f32(-zero * scale);
+                for (w, &word) in logical.iter().enumerate() {
+                    let vals = dequant_word_asym(word, s, neg_zs);
+                    out[8 * w..8 * w + 8].copy_from_slice(&vals);
+                }
+            }
+        }
+        out
+    }
+
+    /// De-quantizes the whole matrix to dense `f32` through the FP16
+    /// bit-trick path.
+    pub fn dequantize(&self) -> Matrix {
+        let groups_per_row = self.cols / GROUP;
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            for g in 0..groups_per_row {
+                let vals = self.dequant_group(r, g);
+                let row = out.row_mut(r);
+                for (i, v) in vals.iter().enumerate() {
+                    row[g * GROUP + i] = v.to_f32();
+                }
+            }
+        }
+        out
+    }
+
+    /// Deployment memory in bytes: packed words plus FP16 scales (and
+    /// zero-points for asymmetric schemes).
+    pub fn memory_bytes(&self) -> usize {
+        let words = (self.main.len() + self.tail.len()) * 4;
+        let params = match self.scheme {
+            Scheme::Asymmetric => self.scales.len() * 4,
+            Scheme::Symmetric => self.scales.len() * 2,
+        };
+        words + params
+    }
+}
+
+
+impl PackedWeight for PackedMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    fn dequant_group32(&self, r: usize, g: usize) -> [F16; GROUP] {
+        self.dequant_group(r, g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_quant::{rtn_quantize, QuantConfig};
+    use milo_tensor::rng::WeightDist;
+    use rand::SeedableRng;
+
+    fn quantized(rows: usize, cols: usize, cfg: QuantConfig, seed: u64) -> QuantizedMatrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(rows, cols, &mut rng);
+        rtn_quantize(&w, &cfg).unwrap()
+    }
+
+    #[test]
+    fn packed_dequant_matches_unpacked_asym() {
+        let q = quantized(8, 128, QuantConfig::int3_asym(), 1);
+        let p = PackedMatrix::pack(&q).unwrap();
+        let reference = q.dequantize();
+        let packed = p.dequantize();
+        for (a, b) in reference.as_slice().iter().zip(packed.as_slice()) {
+            // The packed path rounds through FP16.
+            assert!((a - b).abs() <= a.abs().max(0.05) * 5e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn packed_dequant_matches_unpacked_sym() {
+        let q = quantized(4, 64, QuantConfig::int3_sym(), 2);
+        let p = PackedMatrix::pack(&q).unwrap();
+        let reference = q.dequantize();
+        let packed = p.dequantize();
+        for (a, b) in reference.as_slice().iter().zip(packed.as_slice()) {
+            assert!((a - b).abs() <= a.abs().max(0.05) * 5e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn int4_is_rejected() {
+        let q = quantized(2, 64, QuantConfig::int4_asym(), 3);
+        assert!(matches!(PackedMatrix::pack(&q), Err(PackError::Unsupported(_))));
+    }
+
+    #[test]
+    fn misaligned_columns_rejected() {
+        use milo_quant::Scheme;
+        let cfg = QuantConfig::new(3, 32, Scheme::Asymmetric).unwrap();
+        let q = quantized(2, 48, cfg, 4);
+        assert!(matches!(PackedMatrix::pack(&q), Err(PackError::InvalidShape(_))));
+    }
+
+    #[test]
+    fn group_size_not_multiple_of_32_rejected() {
+        use milo_quant::Scheme;
+        let cfg = QuantConfig::new(3, 48, Scheme::Asymmetric).unwrap();
+        let q = quantized(2, 96, cfg, 5);
+        assert!(matches!(PackedMatrix::pack(&q), Err(PackError::Unsupported(_))));
+    }
+
+    #[test]
+    fn memory_is_three_over_sixteen_of_fp16_plus_params() {
+        let q = quantized(16, 256, QuantConfig::int3_asym(), 6);
+        let p = PackedMatrix::pack(&q).unwrap();
+        let fp16_bytes = 16 * 256 * 2;
+        let weight_bytes = 16 * 256 * 3 / 8;
+        let param_bytes = 16 * 4 * 4; // 4 groups/row, f16 scale+zero
+        assert_eq!(p.memory_bytes(), weight_bytes + param_bytes);
+        assert!(p.memory_bytes() < fp16_bytes / 4);
+    }
+
+    #[test]
+    fn word_split_has_expected_lengths() {
+        let q = quantized(4, 128, QuantConfig::int3_asym(), 7);
+        let p = PackedMatrix::pack(&q).unwrap();
+        let groups = 4 * (128 / GROUP);
+        assert_eq!(p.group_words(0, 0).len(), 3);
+        assert_eq!(p.main.len(), 2 * groups);
+        assert_eq!(p.tail.len(), groups);
+    }
+}

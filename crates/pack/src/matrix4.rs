@@ -1,0 +1,224 @@
+//! A weight matrix in the packed INT4 deployment layout, with the same
+//! binary-manipulation FP16 de-quantization style as the INT3 path.
+
+use crate::layout4::{pack_word4, unpack_word4, LANE_MASK4, PER_WORD};
+use crate::matrix::PackedWeight;
+use crate::{PackError, Result};
+use milo_quant::{QuantizedMatrix, Scheme};
+use milo_tensor::half::h2;
+use milo_tensor::F16;
+
+/// The FP16 constant `1024.0` replicated in both lanes.
+const MAGIC: u32 = 0x6400_6400;
+
+/// De-quantizes the 8 codes of one INT4 word via the mantissa-splice
+/// trick: pair `k` is `(w >> 4k) & 0x000F000F | MAGIC` = `[1024+e_lo,
+/// 1024+e_hi]`. The 1024 bias is removed in the *integer* domain first
+/// (`__hsub2` on exactly-representable values), then one `__hfma2`
+/// applies the scale — subtracting after scaling would cancel
+/// catastrophically in half precision.
+fn dequant_word4(word: u32, scale: F16, neg_zs: F16) -> [F16; PER_WORD] {
+    let s2 = h2::splat(scale);
+    let c2 = h2::splat(neg_zs);
+    let bias = h2::splat(F16::B1024);
+    let mut out = [F16::ZERO; PER_WORD];
+    for k in 0..4 {
+        let spliced = ((word >> (4 * k)) & LANE_MASK4) | MAGIC;
+        let codes = h2::hsub2(spliced, bias); // exact: [e_lo, e_hi]
+        let v = h2::hfma2(codes, s2, c2); // e·s − z·s
+        let (lo, hi) = h2::unpack(v);
+        out[2 * k] = lo;
+        out[2 * k + 1] = hi;
+    }
+    out
+}
+
+/// A 4-bit quantized weight matrix in the packed deployment layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packed4Matrix {
+    rows: usize,
+    cols: usize,
+    words: Vec<u32>,
+    scales: Vec<f32>,
+    zeros: Vec<f32>,
+    group_size: usize,
+    scheme: Scheme,
+}
+
+impl Packed4Matrix {
+    /// Packs an unpacked 4-bit [`QuantizedMatrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PackError::Unsupported`] unless the matrix is 4-bit with
+    /// a group size that is a multiple of 8, and
+    /// [`PackError::InvalidShape`] unless the column count is a multiple
+    /// of 8.
+    pub fn pack(q: &QuantizedMatrix) -> Result<Self> {
+        let cfg = q.config();
+        if cfg.bits() != 4 {
+            return Err(PackError::Unsupported(format!(
+                "INT4 layout is 4-bit only, got {} bits",
+                cfg.bits()
+            )));
+        }
+        if cfg.group_size() % PER_WORD != 0 {
+            return Err(PackError::Unsupported(format!(
+                "quant group size {} must be a multiple of {PER_WORD}",
+                cfg.group_size()
+            )));
+        }
+        let (rows, cols) = q.shape();
+        if cols % PER_WORD != 0 {
+            return Err(PackError::InvalidShape(format!(
+                "column count {cols} is not a multiple of {PER_WORD}"
+            )));
+        }
+        let mut words = Vec::with_capacity(rows * cols / PER_WORD);
+        for r in 0..rows {
+            let row = &q.codes()[r * cols..(r + 1) * cols];
+            for chunk in row.chunks(PER_WORD) {
+                let mut arr = [0u8; PER_WORD];
+                arr.copy_from_slice(chunk);
+                words.push(pack_word4(&arr));
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            words,
+            scales: q.scales().to_vec(),
+            zeros: q.zeros().to_vec(),
+            group_size: cfg.group_size(),
+            scheme: cfg.scheme(),
+        })
+    }
+
+    /// Unpacks the raw codes (row-major).
+    pub fn unpack_codes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.rows * self.cols);
+        for &w in &self.words {
+            out.extend_from_slice(&unpack_word4(w));
+        }
+        out
+    }
+
+    /// Deployment memory in bytes (packed words + FP16 group parameters).
+    pub fn memory_bytes(&self) -> usize {
+        let params = match self.scheme {
+            Scheme::Asymmetric => self.scales.len() * 4,
+            Scheme::Symmetric => self.scales.len() * 2,
+        };
+        self.words.len() * 4 + params
+    }
+}
+
+impl PackedWeight for Packed4Matrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    fn dequant_group32(&self, r: usize, g: usize) -> [F16; 32] {
+        let words_per_row = self.cols / PER_WORD;
+        let qgroups_per_row = self.cols.div_ceil(self.group_size);
+        let qg = r * qgroups_per_row + (g * 32) / self.group_size;
+        let scale = self.scales[qg];
+        let (s, neg_zs) = match self.scheme {
+            Scheme::Asymmetric => (scale, -self.zeros[qg] * scale),
+            // Symmetric 4-bit: implicit zero-point 8.
+            Scheme::Symmetric => (scale, -8.0 * scale),
+        };
+        let s16 = F16::from_f32(s);
+        let nz16 = F16::from_f32(neg_zs);
+        let mut out = [F16::ZERO; 32];
+        for w in 0..4 {
+            let word = self.words[r * words_per_row + g * 4 + w];
+            let vals = dequant_word4(word, s16, nz16);
+            out[w * PER_WORD..(w + 1) * PER_WORD].copy_from_slice(&vals);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{reference_gemm, relative_error};
+    use crate::GemmKernel;
+    use milo_quant::{rtn_quantize, QuantConfig};
+    use milo_tensor::rng::WeightDist;
+    use rand::SeedableRng;
+
+    fn quantized(rows: usize, cols: usize, seed: u64) -> QuantizedMatrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(rows, cols, &mut rng);
+        rtn_quantize(&w, &QuantConfig::int4_asym()).unwrap()
+    }
+
+    #[test]
+    fn codes_round_trip_through_packing() {
+        let q = quantized(4, 64, 1);
+        let p = Packed4Matrix::pack(&q).unwrap();
+        assert_eq!(p.unpack_codes(), q.codes());
+    }
+
+    #[test]
+    fn dequant_matches_unpacked_reference() {
+        let q = quantized(8, 128, 2);
+        let p = Packed4Matrix::pack(&q).unwrap();
+        let reference = q.dequantize();
+        for r in 0..8 {
+            for g in 0..(128 / 32) {
+                let vals = p.dequant_group32(r, g);
+                for (i, v) in vals.iter().enumerate() {
+                    let expected = reference[(r, g * 32 + i)];
+                    assert!(
+                        (v.to_f32() - expected).abs() <= expected.abs().max(0.05) * 5e-3,
+                        "({r},{g},{i}): {} vs {expected}",
+                        v.to_f32()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn int3_is_rejected() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(2, 64, &mut rng);
+        let q = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();
+        assert!(matches!(Packed4Matrix::pack(&q), Err(PackError::Unsupported(_))));
+    }
+
+    #[test]
+    fn fused_gemm_meets_correctness_criterion() {
+        let q = quantized(128, 128, 4);
+        let p = Packed4Matrix::pack(&q).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(4, 128, &mut rng);
+        let out = GemmKernel::default().gemm(&x, &p).unwrap();
+        let reference = reference_gemm(&x, &q.dequantize());
+        assert!(relative_error(&out, &reference) < 0.005);
+    }
+
+    #[test]
+    fn int4_memory_is_four_thirds_of_int3() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(64, 256, &mut rng);
+        let q4 = rtn_quantize(&w, &QuantConfig::int4_asym()).unwrap();
+        let q3 = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();
+        let p4 = Packed4Matrix::pack(&q4).unwrap().memory_bytes();
+        let p3 = crate::PackedMatrix::pack(&q3).unwrap().memory_bytes();
+        // Params are identical, weights are exactly 4:3.
+        let param = 64 * 4 * 4;
+        assert_eq!((p4 - param) * 3, (p3 - param) * 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Quantizers for the MiLo reproduction.
+//!
+//! The paper evaluates three weight-only grouped post-training quantizers
+//! (§4 baselines) plus the symmetric scheme used for compensators:
+//!
+//! * [`rtn`] — round-to-nearest asymmetric grouped quantization, the
+//!   cheapest baseline.
+//! * [`hqq`] — Half-Quadratic Quantization (Badri & Shaji, 2023): the
+//!   calibration-free solver MiLo builds on. Alternates a generalized
+//!   soft-thresholding step (paper Eq. 6–7) with a zero-point update
+//!   (Eq. 8–9).
+//! * [`gptq`] — the calibration-based baseline (Frantar et al., 2022):
+//!   Hessian-weighted column-by-column quantization with error
+//!   propagation.
+//! * [`symmetric`] — the symmetric INT3 scheme of paper Eq. 15, used to
+//!   quantize the low-rank compensators themselves (§3.2.6).
+//!
+//! All quantizers share [`QuantConfig`] (bit width + group size + scheme)
+//! and produce a [`QuantizedMatrix`], which stores one u8 code per weight
+//! together with per-group scales and zero-points. Bit-packing into the
+//! zero-waste INT3 format is the job of the `milo-pack` crate; this crate
+//! only *accounts* for packed memory (see
+//! [`QuantizedMatrix::packed_bytes`]).
+
+#![warn(missing_docs)]
+
+pub mod calib;
+pub mod config;
+pub mod gptq;
+pub mod hqq;
+pub mod qtensor;
+pub mod rtn;
+pub mod serialize;
+pub mod symmetric;
+
+pub use config::{QuantConfig, Scheme};
+pub use gptq::{gptq_quantize, GptqOptions};
+pub use hqq::{hqq_quantize, HqqOptions};
+pub use qtensor::QuantizedMatrix;
+pub use rtn::rtn_quantize;
+pub use symmetric::symmetric_quantize;
+
+use milo_tensor::TensorError;
+
+/// Errors produced by the quantizers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuantError {
+    /// The configuration is unusable (e.g. zero group size, bits out of
+    /// the supported 2..=8 range).
+    InvalidConfig(String),
+    /// The input matrix shape is incompatible with the configuration.
+    InvalidShape(String),
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::InvalidConfig(msg) => write!(f, "invalid quantizer config: {msg}"),
+            QuantError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+            QuantError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QuantError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for QuantError {
+    fn from(e: TensorError) -> Self {
+        QuantError::Tensor(e)
+    }
+}
+
+/// Convenient result alias for quantizer operations.
+pub type Result<T> = std::result::Result<T, QuantError>;

@@ -1,0 +1,115 @@
+//! Binary serialization of quantized matrices.
+
+use crate::{QuantConfig, QuantizedMatrix, Scheme};
+use milo_tensor::io::{
+    expect_tag, read_bytes, read_f32_vec, read_u32, read_u64, write_bytes, write_f32_slice,
+    write_tag, write_u32, write_u64,
+};
+use std::io::{self, Read, Write};
+
+const TAG: &[u8; 4] = b"QMTX";
+
+/// Writes a [`QuantizedMatrix`] to a binary stream.
+///
+/// # Errors
+///
+/// Propagates IO failures.
+pub fn write_quantized(w: &mut impl Write, q: &QuantizedMatrix) -> io::Result<()> {
+    write_tag(w, TAG)?;
+    let cfg = q.config();
+    write_u32(w, cfg.bits() as u32)?;
+    write_u64(w, cfg.group_size() as u64)?;
+    write_u32(w, match cfg.scheme() {
+        Scheme::Asymmetric => 0,
+        Scheme::Symmetric => 1,
+    })?;
+    write_u64(w, q.rows() as u64)?;
+    write_u64(w, q.cols() as u64)?;
+    write_bytes(w, q.codes())?;
+    write_f32_slice(w, q.scales())?;
+    write_f32_slice(w, q.zeros())?;
+    Ok(())
+}
+
+/// Reads a [`QuantizedMatrix`] from a binary stream, validating shapes
+/// and code ranges.
+///
+/// # Errors
+///
+/// Returns `InvalidData` for malformed or inconsistent input.
+pub fn read_quantized(r: &mut impl Read) -> io::Result<QuantizedMatrix> {
+    expect_tag(r, TAG)?;
+    let bits = read_u32(r)? as u8;
+    let group = read_u64(r)? as usize;
+    let scheme = match read_u32(r)? {
+        0 => Scheme::Asymmetric,
+        1 => Scheme::Symmetric,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown quantization scheme tag {other}"),
+            ))
+        }
+    };
+    let cfg = QuantConfig::new(bits, group, scheme)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let rows = read_u64(r)? as usize;
+    let cols = read_u64(r)? as usize;
+    let codes = read_bytes(r)?;
+    let scales = read_f32_vec(r)?;
+    let zeros = read_f32_vec(r)?;
+    QuantizedMatrix::from_parts(cfg, rows, cols, codes, scales, zeros)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rtn_quantize;
+    use milo_tensor::rng::WeightDist;
+    use rand::SeedableRng;
+    use std::io::Cursor;
+
+    fn sample(cfg: QuantConfig, seed: u64) -> QuantizedMatrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let w = WeightDist::Gaussian { std: 0.1 }.sample_matrix(8, 64, &mut rng);
+        rtn_quantize(&w, &cfg).unwrap()
+    }
+
+    #[test]
+    fn asymmetric_round_trips() {
+        let q = sample(QuantConfig::int3_asym(), 1);
+        let mut buf = Vec::new();
+        write_quantized(&mut buf, &q).unwrap();
+        let out = read_quantized(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(out, q);
+    }
+
+    #[test]
+    fn symmetric_round_trips() {
+        let q = sample(QuantConfig::int3_sym(), 2);
+        let mut buf = Vec::new();
+        write_quantized(&mut buf, &q).unwrap();
+        assert_eq!(read_quantized(&mut Cursor::new(buf)).unwrap(), q);
+    }
+
+    #[test]
+    fn corrupted_codes_rejected() {
+        let q = sample(QuantConfig::int3_asym(), 3);
+        let mut buf = Vec::new();
+        write_quantized(&mut buf, &q).unwrap();
+        // Layout: tag(4) + bits(4) + group(8) + scheme(4) + rows(8) +
+        // cols(8) + codes-len(8) = 44 bytes before the first code byte.
+        buf[44] = 0xFF; // out of range for 3-bit codes
+        assert!(read_quantized(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn wrong_tag_rejected() {
+        let q = sample(QuantConfig::int3_asym(), 4);
+        let mut buf = Vec::new();
+        write_quantized(&mut buf, &q).unwrap();
+        buf[0] = b'X';
+        assert!(read_quantized(&mut Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,117 @@
+//! Symmetric compensator quantization (paper Eq. 15 and §3.2.6).
+//!
+//! The low-rank compensator matrices `U` and `V` are themselves quantized
+//! to keep the memory overhead small: the paper shows INT3 symmetric
+//! quantization of the compensators costs only ~0.2% perplexity versus
+//! INT8 while using 37.5% of the memory (Table 6). The scheme is
+//! `Q(w) = round(max_code · w / (2s)) + 2^(bits−1)` with `s` the largest
+//! absolute value in the group — Eq. 15 instantiated for any bit width
+//! (the paper states it for INT3, where `max_code = 7` and the offset is
+//! 4).
+
+use crate::{QuantConfig, QuantError, QuantizedMatrix, Result, Scheme};
+use milo_tensor::Matrix;
+
+/// Quantizes `w` with the symmetric grouped scheme of paper Eq. 15.
+///
+/// This is a thin wrapper over [`crate::rtn_quantize`] that enforces the
+/// symmetric scheme, provided so call sites that quantize *compensators*
+/// read as such.
+///
+/// # Errors
+///
+/// Returns [`QuantError::InvalidConfig`] if `cfg` is not symmetric.
+pub fn symmetric_quantize(w: &Matrix, cfg: &QuantConfig) -> Result<QuantizedMatrix> {
+    if cfg.scheme() != Scheme::Symmetric {
+        return Err(QuantError::InvalidConfig(
+            "symmetric_quantize requires a symmetric scheme".into(),
+        ));
+    }
+    crate::rtn_quantize(w, cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_tensor::rng::WeightDist;
+    use rand::SeedableRng;
+
+    #[test]
+    fn eq15_codes_for_known_values() {
+        // s = max|w| = 1.0; codes = round(7 w / 2) + 4.
+        let w = Matrix::from_rows(&[&[-1.0, -0.5, 0.0, 0.5, 1.0, 0.25, -0.25, 0.75]]);
+        let cfg = QuantConfig::new(3, 8, Scheme::Symmetric).unwrap();
+        let q = symmetric_quantize(&w, &cfg).unwrap();
+        let expected: Vec<u8> = w
+            .as_slice()
+            .iter()
+            .map(|&v| ((7.0 * v / 2.0).round() + 4.0).clamp(0.0, 7.0) as u8)
+            .collect();
+        assert_eq!(q.codes(), expected.as_slice());
+    }
+
+    #[test]
+    fn zero_maps_to_midpoint() {
+        let w = Matrix::from_rows(&[&[0.0, 1.0]]);
+        let cfg = QuantConfig::new(3, 2, Scheme::Symmetric).unwrap();
+        let q = symmetric_quantize(&w, &cfg).unwrap();
+        assert_eq!(q.codes()[0], 4);
+        let dq = q.dequantize();
+        assert_eq!(dq[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn error_bounded_by_half_step() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let w = WeightDist::Gaussian { std: 0.3 }.sample_matrix(8, 64, &mut rng);
+        let cfg = QuantConfig::int3_sym();
+        let q = symmetric_quantize(&w, &cfg).unwrap();
+        let dq = q.dequantize();
+        for (i, (&a, &b)) in w.as_slice().iter().zip(dq.as_slice()).enumerate() {
+            let s = q.scales()[i / 64];
+            // The negative end of the grid clamps at code 0 = −4·step,
+            // which covers −(8/7)s; everything within ±s is within half a
+            // step of a grid point.
+            assert!((a - b).abs() <= s * 0.5 + 1e-6, "element {i}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_config_rejected() {
+        let w = Matrix::filled(1, 8, 1.0);
+        assert!(symmetric_quantize(&w, &QuantConfig::int3_asym()).is_err());
+    }
+
+    #[test]
+    fn int8_uses_more_memory_than_int3() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let w = WeightDist::Gaussian { std: 0.1 }.sample_matrix(64, 64, &mut rng);
+        let q3 = symmetric_quantize(&w, &QuantConfig::int3_sym()).unwrap();
+        let q8 =
+            symmetric_quantize(&w, &QuantConfig::new(8, 64, Scheme::Symmetric).unwrap()).unwrap();
+        // Paper Table 6: INT3 compensators use 37.5% of INT8's weight
+        // memory (3/8); scales are identical so the ratio is slightly
+        // above 0.375.
+        let ratio = q3.packed_bytes() as f32 / q8.packed_bytes() as f32;
+        assert!(ratio > 0.37 && ratio < 0.42, "ratio {ratio}");
+    }
+
+    #[test]
+    fn int8_is_more_accurate_than_int3() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w = WeightDist::Gaussian { std: 0.1 }.sample_matrix(32, 64, &mut rng);
+        let e3 = w
+            .sub(&symmetric_quantize(&w, &QuantConfig::int3_sym()).unwrap().dequantize())
+            .unwrap()
+            .frobenius_norm();
+        let e8 = w
+            .sub(
+                &symmetric_quantize(&w, &QuantConfig::new(8, 64, Scheme::Symmetric).unwrap())
+                    .unwrap()
+                    .dequantize(),
+            )
+            .unwrap()
+            .frobenius_norm();
+        assert!(e8 < e3);
+    }
+}

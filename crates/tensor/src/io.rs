@@ -1,0 +1,214 @@
+//! Minimal little-endian binary serialization primitives.
+//!
+//! The compressed-model formats in `milo-quant`/`milo-core`/`milo-moe`
+//! are built from these; keeping them here avoids a serde dependency for
+//! what is a handful of fixed-layout records.
+
+use crate::Matrix;
+use std::io::{self, Read, Write};
+
+/// Writes a 4-byte section tag.
+pub fn write_tag(w: &mut impl Write, tag: &[u8; 4]) -> io::Result<()> {
+    w.write_all(tag)
+}
+
+/// Reads and validates a 4-byte section tag.
+pub fn expect_tag(r: &mut impl Read, tag: &[u8; 4]) -> io::Result<()> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    if &buf != tag {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "expected tag {:?}, found {:?}",
+                String::from_utf8_lossy(tag),
+                String::from_utf8_lossy(&buf)
+            ),
+        ));
+    }
+    Ok(())
+}
+
+/// Writes a `u32` (little endian).
+pub fn write_u32(w: &mut impl Write, v: u32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a `u32` (little endian).
+pub fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Writes a `u64` (little endian).
+pub fn write_u64(w: &mut impl Write, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads a `u64` (little endian).
+pub fn read_u64(r: &mut impl Read) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+/// Writes an `f32` (little endian).
+pub fn write_f32(w: &mut impl Write, v: f32) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+/// Reads an `f32` (little endian).
+pub fn read_f32(r: &mut impl Read) -> io::Result<f32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(f32::from_le_bytes(b))
+}
+
+/// Reads a length header, guarding against absurd allocations from
+/// corrupt input.
+fn read_len(r: &mut impl Read, what: &str) -> io::Result<usize> {
+    let n = read_u64(r)?;
+    const LIMIT: u64 = 1 << 34; // 16 Gi elements: far beyond any model here
+    if n > LIMIT {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{what} length {n} exceeds sanity limit"),
+        ));
+    }
+    Ok(n as usize)
+}
+
+/// Writes a UTF-8 string with a length header.
+pub fn write_string(w: &mut impl Write, s: &str) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+/// Reads a UTF-8 string.
+pub fn read_string(r: &mut impl Read) -> io::Result<String> {
+    let n = read_len(r, "string")?;
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad utf-8: {e}")))
+}
+
+/// Writes a `Vec<f32>` with a length header.
+pub fn write_f32_slice(w: &mut impl Write, xs: &[f32]) -> io::Result<()> {
+    write_u64(w, xs.len() as u64)?;
+    for &x in xs {
+        write_f32(w, x)?;
+    }
+    Ok(())
+}
+
+/// Reads a `Vec<f32>`.
+pub fn read_f32_vec(r: &mut impl Read) -> io::Result<Vec<f32>> {
+    let n = read_len(r, "f32 vector")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_f32(r)?);
+    }
+    Ok(out)
+}
+
+/// Writes a byte slice with a length header.
+pub fn write_bytes(w: &mut impl Write, xs: &[u8]) -> io::Result<()> {
+    write_u64(w, xs.len() as u64)?;
+    w.write_all(xs)
+}
+
+/// Reads a byte vector.
+pub fn read_bytes(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let n = read_len(r, "byte vector")?;
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Writes a matrix (shape header + row-major f32 data).
+pub fn write_matrix(w: &mut impl Write, m: &Matrix) -> io::Result<()> {
+    write_u64(w, m.rows() as u64)?;
+    write_u64(w, m.cols() as u64)?;
+    for &v in m.as_slice() {
+        write_f32(w, v)?;
+    }
+    Ok(())
+}
+
+/// Reads a matrix.
+pub fn read_matrix(r: &mut impl Read) -> io::Result<Matrix> {
+    let rows = read_len(r, "matrix rows")?;
+    let cols = read_len(r, "matrix cols")?;
+    let n = rows.checked_mul(cols).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "matrix shape overflows")
+    })?;
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(read_f32(r)?);
+    }
+    Ok(Matrix::from_vec(rows, cols, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn scalar_round_trips() {
+        let mut buf = Vec::new();
+        write_u32(&mut buf, 0xDEAD_BEEF).unwrap();
+        write_u64(&mut buf, u64::MAX - 7).unwrap();
+        write_f32(&mut buf, -1.5e-4).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_u32(&mut r).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(read_u64(&mut r).unwrap(), u64::MAX - 7);
+        assert_eq!(read_f32(&mut r).unwrap(), -1.5e-4);
+    }
+
+    #[test]
+    fn string_and_vectors_round_trip() {
+        let mut buf = Vec::new();
+        write_string(&mut buf, "layer3.expert5.w1").unwrap();
+        write_f32_slice(&mut buf, &[1.0, -2.0, 0.5]).unwrap();
+        write_bytes(&mut buf, &[7, 0, 255]).unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_string(&mut r).unwrap(), "layer3.expert5.w1");
+        assert_eq!(read_f32_vec(&mut r).unwrap(), vec![1.0, -2.0, 0.5]);
+        assert_eq!(read_bytes(&mut r).unwrap(), vec![7, 0, 255]);
+    }
+
+    #[test]
+    fn matrix_round_trips() {
+        let m = Matrix::from_fn(3, 5, |r, c| (r * 5 + c) as f32 - 7.0);
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &m).unwrap();
+        let out = read_matrix(&mut Cursor::new(buf)).unwrap();
+        assert_eq!(out, m);
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut buf = Vec::new();
+        write_tag(&mut buf, b"MILO").unwrap();
+        assert!(expect_tag(&mut Cursor::new(&buf), b"MILQ").is_err());
+        assert!(expect_tag(&mut Cursor::new(&buf), b"MILO").is_ok());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let mut buf = Vec::new();
+        write_matrix(&mut buf, &Matrix::filled(4, 4, 1.0)).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_matrix(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn absurd_length_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX).unwrap();
+        assert!(read_string(&mut Cursor::new(buf)).is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Dense-matrix substrate for the MiLo reproduction.
+//!
+//! This crate provides everything the higher layers need from a numerical
+//! library, implemented from scratch so the reproduction has no native or
+//! GPU dependencies:
+//!
+//! * [`Matrix`] — a row-major `f32` matrix with the arithmetic used by the
+//!   quantizers and the MoE substrate.
+//! * [`f16`](crate::half) — a bit-level IEEE 754 binary16 implementation.
+//!   The MiLo kernel's binary-manipulation dequantization (paper §3.3)
+//!   manipulates half-precision *bit patterns*, so a faithful reproduction
+//!   needs access to the representation, not just the arithmetic.
+//! * [`rng`] — seeded samplers for the weight distributions the paper's
+//!   analysis relies on (Gaussian, Student-t, uniform), so synthetic models
+//!   can match the kurtosis profile of Mixtral-8×7B and DeepSeek-MoE
+//!   (paper Table 2).
+//! * [`stats`] — kurtosis, Frobenius norms, and the residual-rank measure
+//!   from paper Table 2.
+//! * [`linalg`] — Householder QR, one-sided Jacobi SVD, randomized
+//!   truncated SVD (the role `torch.svd_lowrank` plays in the paper's
+//!   implementation, Appendix B), and Cholesky factorization (used by the
+//!   GPTQ baseline).
+
+#![warn(missing_docs)]
+
+pub mod half;
+pub mod io;
+pub mod linalg;
+pub mod matrix;
+pub mod rng;
+pub mod stats;
+
+pub use half::F16;
+pub use matrix::Matrix;
+
+/// Errors produced by linear-algebra routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes; the payload is a human-readable
+    /// description of the mismatch.
+    ShapeMismatch(String),
+    /// A factorization could not proceed (e.g. Cholesky on a matrix that is
+    /// not positive definite).
+    NotPositiveDefinite,
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Number of iterations attempted before giving up.
+        iterations: usize,
+    },
+    /// An argument was out of the valid range (e.g. a rank larger than the
+    /// matrix dimensions).
+    InvalidArgument(String),
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::ShapeMismatch(msg) => write!(f, "shape mismatch: {msg}"),
+            TensorError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            TensorError::NoConvergence { iterations } => {
+                write!(f, "no convergence after {iterations} iterations")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenient result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

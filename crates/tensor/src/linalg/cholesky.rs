@@ -1,0 +1,176 @@
+//! Cholesky factorization, used by the GPTQ baseline to invert the
+//! (damped) calibration Hessian `H = 2·X·Xᵀ + λI`.
+
+use crate::{Matrix, Result, TensorError};
+
+/// Computes the lower-triangular Cholesky factor `L` with `A = L · Lᵗ`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if `a` is not square and
+/// [`TensorError::NotPositiveDefinite`] if a non-positive pivot is
+/// encountered.
+pub fn cholesky_decompose(a: &Matrix) -> Result<Matrix> {
+    let (m, n) = a.shape();
+    if m != n {
+        return Err(TensorError::InvalidArgument(format!("Cholesky needs a square matrix, got {m}x{n}")));
+    }
+    let mut l = vec![0.0f64; n * n];
+    let idx = |r: usize, c: usize| r * n + c;
+    for j in 0..n {
+        let mut diag = a[(j, j)] as f64;
+        for k in 0..j {
+            diag -= l[idx(j, k)] * l[idx(j, k)];
+        }
+        if diag <= 0.0 {
+            return Err(TensorError::NotPositiveDefinite);
+        }
+        let ljj = diag.sqrt();
+        l[idx(j, j)] = ljj;
+        for i in (j + 1)..n {
+            let mut v = a[(i, j)] as f64;
+            for k in 0..j {
+                v -= l[idx(i, k)] * l[idx(j, k)];
+            }
+            l[idx(i, j)] = v / ljj;
+        }
+    }
+    Ok(Matrix::from_vec(n, n, l.iter().map(|&v| v as f32).collect()))
+}
+
+/// Solves `A · x = b` given the Cholesky factor `L` of `A`, by forward
+/// then backward substitution.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] if `b.len()` differs from the
+/// factor's dimension.
+pub fn cholesky_solve(l: &Matrix, b: &[f32]) -> Result<Vec<f32>> {
+    let n = l.rows();
+    if b.len() != n {
+        return Err(TensorError::ShapeMismatch(format!(
+            "solve: factor is {n}x{n}, rhs has length {}",
+            b.len()
+        )));
+    }
+    // Forward: L y = b.
+    let mut y = vec![0.0f64; n];
+    for i in 0..n {
+        let mut v = b[i] as f64;
+        for k in 0..i {
+            v -= l[(i, k)] as f64 * y[k];
+        }
+        y[i] = v / l[(i, i)] as f64;
+    }
+    // Backward: Lᵗ x = y.
+    let mut x = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let mut v = y[i];
+        for k in (i + 1)..n {
+            v -= l[(k, i)] as f64 * x[k];
+        }
+        x[i] = v / l[(i, i)] as f64;
+    }
+    Ok(x.iter().map(|&v| v as f32).collect())
+}
+
+/// Computes `A⁻¹` from the Cholesky factor `L` of `A` by solving against
+/// the identity columns.
+///
+/// # Errors
+///
+/// Propagates errors from [`cholesky_solve`].
+pub fn cholesky_inverse(l: &Matrix) -> Result<Matrix> {
+    let n = l.rows();
+    let mut inv = Matrix::zeros(n, n);
+    let mut e = vec![0.0f32; n];
+    for j in 0..n {
+        e[j] = 1.0;
+        let col = cholesky_solve(l, &e)?;
+        for (i, &v) in col.iter().enumerate() {
+            inv[(i, j)] = v;
+        }
+        e[j] = 0.0;
+    }
+    Ok(inv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::WeightDist;
+    use rand::SeedableRng;
+
+    fn spd(n: usize, seed: u64) -> Matrix {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let b = WeightDist::Gaussian { std: 1.0 }.sample_matrix(n, n, &mut rng);
+        // B·Bᵗ + n·I is symmetric positive definite.
+        let mut a = b.matmul(&b.transpose()).unwrap();
+        for i in 0..n {
+            a[(i, i)] += n as f32;
+        }
+        a
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn factor_reconstructs_spd_matrix() {
+        let a = spd(8, 1);
+        let l = cholesky_decompose(&a).unwrap();
+        assert_close(&l.matmul(&l.transpose()).unwrap(), &a, 1e-3);
+    }
+
+    #[test]
+    fn factor_is_lower_triangular() {
+        let a = spd(6, 2);
+        let l = cholesky_decompose(&a).unwrap();
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                assert_eq!(l[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let a = spd(10, 3);
+        let l = cholesky_decompose(&a).unwrap();
+        let x_true: Vec<f32> = (0..10).map(|i| i as f32 - 4.5).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = cholesky_solve(&l, &b).unwrap();
+        for (xs, xt) in x.iter().zip(&x_true) {
+            assert!((xs - xt).abs() < 1e-2, "{xs} vs {xt}");
+        }
+    }
+
+    #[test]
+    fn inverse_times_matrix_is_identity() {
+        let a = spd(7, 4);
+        let l = cholesky_decompose(&a).unwrap();
+        let inv = cholesky_inverse(&l).unwrap();
+        assert_close(&a.matmul(&inv).unwrap(), &Matrix::identity(7), 1e-2);
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        assert!(cholesky_decompose(&Matrix::zeros(3, 4)).is_err());
+    }
+
+    #[test]
+    fn indefinite_matrix_is_rejected() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(cholesky_decompose(&a), Err(TensorError::NotPositiveDefinite)));
+    }
+
+    #[test]
+    fn wrong_rhs_length_is_rejected() {
+        let a = spd(4, 5);
+        let l = cholesky_decompose(&a).unwrap();
+        assert!(cholesky_solve(&l, &[1.0, 2.0]).is_err());
+    }
+}

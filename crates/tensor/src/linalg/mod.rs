@@ -1,0 +1,16 @@
+//! Linear-algebra routines backing the MiLo pipeline.
+//!
+//! * [`qr`] — Householder thin QR, used inside the randomized SVD.
+//! * [`svd`] — one-sided Jacobi SVD (exact, for rank analysis in paper
+//!   Table 2) and randomized truncated SVD (fast, the role
+//!   `torch.svd_lowrank` plays in the paper's implementation).
+//! * [`cholesky`] — Cholesky factorization for the GPTQ baseline's inverse
+//!   Hessian.
+
+pub mod cholesky;
+pub mod qr;
+pub mod svd;
+
+pub use cholesky::{cholesky_decompose, cholesky_inverse, cholesky_solve};
+pub use qr::thin_qr;
+pub use svd::{jacobi_svd, truncated_svd, Svd};

@@ -1,0 +1,160 @@
+//! Householder thin QR factorization.
+
+use crate::{Matrix, Result, TensorError};
+
+/// Computes the thin QR factorization `A = Q · R` of an `m × n` matrix
+/// with `m ≥ n`, where `Q` is `m × n` with orthonormal columns and `R` is
+/// `n × n` upper triangular.
+///
+/// Uses Householder reflections accumulated in `f64` for stability; the
+/// randomized SVD uses this to orthonormalize its sketch.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] if `m < n` or the matrix is
+/// empty.
+pub fn thin_qr(a: &Matrix) -> Result<(Matrix, Matrix)> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(TensorError::InvalidArgument("QR of an empty matrix".into()));
+    }
+    if m < n {
+        return Err(TensorError::InvalidArgument(format!(
+            "thin QR requires rows >= cols, got {m}x{n}"
+        )));
+    }
+
+    // Work in f64 column-major for numerical headroom.
+    let mut r: Vec<f64> = a.as_slice().iter().map(|&v| v as f64).collect();
+    let idx = |row: usize, col: usize| row * n + col;
+    // Householder vectors, one per column, each of length m (zero-padded
+    // above the diagonal).
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build the Householder vector for column k.
+        let mut norm2 = 0.0;
+        for i in k..m {
+            norm2 += r[idx(i, k)] * r[idx(i, k)];
+        }
+        let norm = norm2.sqrt();
+        let mut v = vec![0.0; m];
+        if norm == 0.0 {
+            vs.push(v);
+            continue;
+        }
+        let alpha = if r[idx(k, k)] >= 0.0 { -norm } else { norm };
+        for i in k..m {
+            v[i] = r[idx(i, k)];
+        }
+        v[k] -= alpha;
+        let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            vs.push(vec![0.0; m]);
+            continue;
+        }
+        // Apply H = I - 2 v vᵀ / (vᵀv) to the trailing block of R.
+        for j in k..n {
+            let dot: f64 = (k..m).map(|i| v[i] * r[idx(i, j)]).sum();
+            let coef = 2.0 * dot / vnorm2;
+            for i in k..m {
+                r[idx(i, j)] -= coef * v[i];
+            }
+        }
+        vs.push(v);
+    }
+
+    // Form Q by applying the reflections to the first n columns of I,
+    // in reverse order.
+    let mut q = vec![0.0f64; m * n];
+    for j in 0..n {
+        q[idx(j, j)] = 1.0;
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let dot: f64 = (k..m).map(|i| v[i] * q[idx(i, j)]).sum();
+            let coef = 2.0 * dot / vnorm2;
+            for i in k..m {
+                q[idx(i, j)] -= coef * v[i];
+            }
+        }
+    }
+
+    let q_mat = Matrix::from_vec(m, n, q.iter().map(|&v| v as f32).collect());
+    let mut r_mat = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            r_mat[(i, j)] = r[idx(i, j)] as f32;
+        }
+    }
+    Ok((q_mat, r_mat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::WeightDist;
+    use rand::SeedableRng;
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let a = WeightDist::Gaussian { std: 1.0 }.sample_matrix(20, 8, &mut rng);
+        let (q, r) = thin_qr(&a).unwrap();
+        assert_close(&q.matmul(&r).unwrap(), &a, 1e-4);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let a = WeightDist::Gaussian { std: 1.0 }.sample_matrix(30, 10, &mut rng);
+        let (q, _) = thin_qr(&a).unwrap();
+        let qtq = q.transpose().matmul(&q).unwrap();
+        assert_close(&qtq, &Matrix::identity(10), 1e-4);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = WeightDist::Gaussian { std: 1.0 }.sample_matrix(12, 6, &mut rng);
+        let (_, r) = thin_qr(&a).unwrap();
+        for i in 0..6 {
+            for j in 0..i {
+                assert_eq!(r[(i, j)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn square_identity_factors_trivially() {
+        let i = Matrix::identity(5);
+        let (q, r) = thin_qr(&i).unwrap();
+        assert_close(&q.matmul(&r).unwrap(), &i, 1e-6);
+    }
+
+    #[test]
+    fn wide_matrix_is_rejected() {
+        let a = Matrix::zeros(2, 5);
+        assert!(thin_qr(&a).is_err());
+    }
+
+    #[test]
+    fn rank_deficient_column_does_not_panic() {
+        // Second column is zero.
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 0.0], &[3.0, 0.0]]);
+        let (q, r) = thin_qr(&a).unwrap();
+        assert_close(&q.matmul(&r).unwrap(), &a, 1e-5);
+    }
+}

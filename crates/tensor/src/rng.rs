@@ -1,0 +1,219 @@
+//! Seeded samplers for the weight distributions used by the synthetic
+//! models.
+//!
+//! The paper's analysis (§3.1.1, Table 2) characterizes MoE weights by
+//! their tail behaviour: attention projections are heavy-tailed (positive
+//! excess kurtosis), expert weights are sub-Gaussian (negative excess
+//! kurtosis). To synthesize models that exercise the same code paths, this
+//! module provides:
+//!
+//! * Gaussian sampling (excess kurtosis 0) via Box–Muller,
+//! * Student-t sampling (excess kurtosis `6/(ν−4)` for ν > 4) for
+//!   heavy-tailed attention-like weights,
+//! * uniform sampling (excess kurtosis −1.2) for light-tailed expert-like
+//!   weights,
+//!
+//! all driven by any [`rand::Rng`], so every experiment is reproducible
+//! from a seed.
+
+use crate::Matrix;
+use rand::Rng;
+
+/// A weight distribution with a chosen tail shape.
+///
+/// # Examples
+///
+/// ```
+/// use milo_tensor::rng::WeightDist;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let w = WeightDist::StudentT { dof: 5.0, scale: 0.02 }.sample_matrix(64, 64, &mut rng);
+/// assert_eq!(w.shape(), (64, 64));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightDist {
+    /// Zero-mean Gaussian with the given standard deviation.
+    Gaussian {
+        /// Standard deviation of the distribution.
+        std: f32,
+    },
+    /// Zero-mean Student-t with `dof` degrees of freedom, multiplied by
+    /// `scale`. Lower `dof` means heavier tails; excess kurtosis is
+    /// `6/(dof−4)` for `dof > 4`.
+    StudentT {
+        /// Degrees of freedom (must be > 0; kurtosis finite only for > 4).
+        dof: f32,
+        /// Multiplicative scale applied to each draw.
+        scale: f32,
+    },
+    /// Uniform on `[-bound, bound]`; excess kurtosis −1.2.
+    Uniform {
+        /// Half-width of the support.
+        bound: f32,
+    },
+}
+
+impl WeightDist {
+    /// Draws a single sample.
+    pub fn sample(&self, rng: &mut impl Rng) -> f32 {
+        match *self {
+            WeightDist::Gaussian { std } => std * standard_normal(rng),
+            WeightDist::StudentT { dof, scale } => scale * student_t(dof, rng),
+            WeightDist::Uniform { bound } => rng.gen_range(-bound..=bound),
+        }
+    }
+
+    /// Fills a `rows × cols` matrix with independent samples.
+    pub fn sample_matrix(&self, rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
+        let data = (0..rows * cols).map(|_| self.sample(rng)).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// Theoretical excess kurtosis of the distribution, if finite.
+    pub fn excess_kurtosis(&self) -> Option<f32> {
+        match *self {
+            WeightDist::Gaussian { .. } => Some(0.0),
+            WeightDist::StudentT { dof, .. } => {
+                if dof > 4.0 {
+                    Some(6.0 / (dof - 4.0))
+                } else {
+                    None
+                }
+            }
+            WeightDist::Uniform { .. } => Some(-1.2),
+        }
+    }
+}
+
+/// Draws from the standard normal distribution via the Box–Muller
+/// transform (both variates are consumed independently per call for
+/// simplicity; the cost is negligible at our scales).
+pub fn standard_normal(rng: &mut impl Rng) -> f32 {
+    // Avoid ln(0) by sampling u1 from the half-open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Draws from the Student-t distribution with `dof` degrees of freedom.
+///
+/// Uses the representation `t = Z / sqrt(V / ν)` with `Z ~ N(0,1)` and
+/// `V ~ χ²(ν)`; the chi-squared draw is `2 · Gamma(ν/2, 1)` via
+/// Marsaglia–Tsang.
+///
+/// # Panics
+///
+/// Panics if `dof <= 0`.
+pub fn student_t(dof: f32, rng: &mut impl Rng) -> f32 {
+    assert!(dof > 0.0, "degrees of freedom must be positive, got {dof}");
+    let z = standard_normal(rng) as f64;
+    let v = 2.0 * gamma_sample(dof as f64 / 2.0, rng);
+    (z / (v / dof as f64).sqrt()) as f32
+}
+
+/// Draws from Gamma(shape, 1) using the Marsaglia–Tsang squeeze method,
+/// with the standard boost for shape < 1.
+fn gamma_sample(shape: f64, rng: &mut impl Rng) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        return gamma_sample(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng) as f64;
+        let v = (1.0 + c * x).powi(3);
+        if v <= 0.0 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x.powi(4) {
+            return d * v;
+        }
+        if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = rng();
+        let xs: Vec<f32> = (0..200_000).map(|_| standard_normal(&mut r)).collect();
+        let mean = stats::mean(&xs);
+        let var = stats::variance(&xs);
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_kurtosis_is_near_zero() {
+        let mut r = rng();
+        let xs: Vec<f32> = (0..200_000).map(|_| standard_normal(&mut r)).collect();
+        let k = stats::excess_kurtosis(&xs);
+        assert!(k.abs() < 0.1, "kurtosis {k}");
+    }
+
+    #[test]
+    fn student_t_is_heavier_tailed_than_normal() {
+        let mut r = rng();
+        let xs: Vec<f32> = (0..200_000).map(|_| student_t(6.0, &mut r)).collect();
+        let k = stats::excess_kurtosis(&xs);
+        // Theoretical excess kurtosis for dof=6 is 3.0.
+        assert!(k > 1.0, "kurtosis {k} not heavy-tailed");
+    }
+
+    #[test]
+    fn uniform_kurtosis_is_negative() {
+        let mut r = rng();
+        let d = WeightDist::Uniform { bound: 1.0 };
+        let xs: Vec<f32> = (0..100_000).map(|_| d.sample(&mut r)).collect();
+        let k = stats::excess_kurtosis(&xs);
+        assert!((k - (-1.2)).abs() < 0.1, "kurtosis {k}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let d = WeightDist::Gaussian { std: 1.0 };
+        let a = d.sample_matrix(8, 8, &mut rng());
+        let b = d.sample_matrix(8, 8, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut r = rng();
+        let shape = 2.5;
+        let xs: Vec<f64> = (0..100_000).map(|_| gamma_sample(shape, &mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - shape).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn gamma_boost_handles_small_shape() {
+        let mut r = rng();
+        let xs: Vec<f64> = (0..50_000).map(|_| gamma_sample(0.5, &mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+        assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn theoretical_kurtosis_accessor() {
+        assert_eq!(WeightDist::Gaussian { std: 1.0 }.excess_kurtosis(), Some(0.0));
+        assert_eq!(WeightDist::StudentT { dof: 10.0, scale: 1.0 }.excess_kurtosis(), Some(1.0));
+        assert_eq!(WeightDist::StudentT { dof: 3.0, scale: 1.0 }.excess_kurtosis(), None);
+    }
+}

@@ -1,0 +1,35 @@
+//! # MiLo — quantized MoE inference with a mixture of low-rank compensators
+//!
+//! This crate is the facade of the MiLo reproduction workspace. It
+//! re-exports the public API of every member crate so applications can
+//! depend on a single `milo` crate:
+//!
+//! * [`tensor`] — matrices, `f16`, RNG distributions, statistics, SVD.
+//! * [`quant`] — RTN / HQQ / GPTQ quantizers and quantized tensors.
+//! * [`core`] — the MiLo algorithm: iterative joint optimization of the
+//!   quantized weights and the mixture of low-rank compensators, plus the
+//!   adaptive rank-selection policies.
+//! * [`moe`] — the Mixture-of-Experts transformer substrate with synthetic
+//!   Mixtral-like and DeepSeek-like models.
+//! * [`pack`] — zero-bit-waste INT3 packing, binary-manipulation
+//!   dequantization, and fused packed GEMM.
+//! * [`engine`] — the packed-weight inference engine (the functional
+//!   analogue of the paper's MiLo serving backend).
+//! * [`gpu_sim`] — the analytical A100 performance model used to reproduce
+//!   the paper's kernel throughput and end-to-end latency results.
+//! * [`eval`] — the evaluation harness (perplexity, task fidelity, timing,
+//!   memory accounting, report rendering).
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+#![warn(missing_docs)]
+
+pub use milo_core as core;
+pub use milo_engine as engine;
+pub use milo_eval as eval;
+pub use milo_gpu_sim as gpu_sim;
+pub use milo_moe as moe;
+pub use milo_pack as pack;
+pub use milo_quant as quant;
+pub use milo_tensor as tensor;

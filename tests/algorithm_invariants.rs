@@ -1,0 +1,152 @@
+//! Cross-crate invariants of the MiLo algorithm itself (paper §3.2),
+//! exercised on synthetic MoE weights rather than toy matrices.
+
+use milo::core::policy::compensator_memory_bytes;
+use milo::core::{milo_compress, Compensator, MiloOptions, RankPolicy, SparseAllocation};
+use milo::moe::{layer_tensors, MoeConfig, MoeModel};
+use milo::quant::{hqq_quantize, HqqOptions, QuantConfig};
+use milo::tensor::stats;
+
+fn reference() -> MoeModel {
+    MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 71)
+}
+
+#[test]
+fn alternation_never_ends_worse_than_its_first_iterate() {
+    // Algorithm 1 keeps the best iterate under the eps_t metric, so more
+    // iterations can only help (or tie).
+    let model = reference();
+    let w = &model.layers[0].attn.wq;
+    let base = MiloOptions { compensator_cfg: None, ..MiloOptions::default() };
+    let one = milo_compress(w, 8, &MiloOptions { max_iters: 1, ..base }).unwrap();
+    let many = milo_compress(w, 8, &MiloOptions { max_iters: 12, ..base }).unwrap();
+    let err = |l: &milo::core::CompressedLayer| {
+        stats::relative_frobenius_error(w, &l.effective_weight())
+    };
+    assert!(err(&many) <= err(&one) + 1e-6, "{} vs {}", err(&many), err(&one));
+}
+
+#[test]
+fn compensated_error_is_below_quantization_error_for_every_layer_kind() {
+    let model = reference();
+    let tensors = layer_tensors(&model, None);
+    let opts = MiloOptions { max_iters: 2, compensator_cfg: None, ..MiloOptions::default() };
+    // One tensor of each structural kind present in the model.
+    let mut seen = std::collections::HashSet::new();
+    for t in &tensors {
+        let key = format!("{:?}", std::mem::discriminant(&t.meta.kind));
+        if !seen.insert(key) {
+            continue;
+        }
+        let plain = milo_compress(&t.weight, 0, &opts).unwrap();
+        let comp = milo_compress(&t.weight, 6, &opts).unwrap();
+        let e_plain = stats::relative_frobenius_error(&t.weight, &plain.effective_weight());
+        let e_comp = stats::relative_frobenius_error(&t.weight, &comp.effective_weight());
+        assert!(
+            e_comp < e_plain,
+            "{}: compensated {e_comp} not below plain {e_plain}",
+            t.name
+        );
+    }
+}
+
+#[test]
+fn quantized_compensator_stays_close_to_fp32_compensator() {
+    // Paper §3.2.6 / Table 6: INT3 compensators lose very little.
+    let model = reference();
+    let w = &model.layers[0].attn.wq;
+    let fp = milo_compress(
+        w,
+        8,
+        &MiloOptions { max_iters: 3, compensator_cfg: None, ..MiloOptions::default() },
+    )
+    .unwrap();
+    let q = milo_compress(
+        w,
+        8,
+        &MiloOptions {
+            max_iters: 3,
+            compensator_cfg: Some(QuantConfig::int3_sym()),
+            ..MiloOptions::default()
+        },
+    )
+    .unwrap();
+    let e_fp = stats::relative_frobenius_error(w, &fp.effective_weight());
+    let e_q = stats::relative_frobenius_error(w, &q.effective_weight());
+    assert!(e_q < e_fp * 1.15, "INT3 compensator error {e_q} vs FP32 {e_fp}");
+    assert!(matches!(q.compensator, Some(Compensator::Quantized(_))));
+    assert!(q.memory_bytes() < fp.memory_bytes());
+}
+
+#[test]
+fn hqq_zero_points_deviate_from_rtn_grid() {
+    // The half-quadratic solver must actually move the zero-points (if it
+    // returned the RTN initialization the iteration would be a no-op).
+    let model = reference();
+    let w = &model.layers[0].attn.wq;
+    let cfg = QuantConfig::int3_asym();
+    let rtn = milo::quant::rtn_quantize(w, &cfg).unwrap();
+    let hqq = hqq_quantize(w, &cfg, &HqqOptions::default()).unwrap();
+    let moved = rtn
+        .zeros()
+        .iter()
+        .zip(hqq.zeros())
+        .filter(|(a, b)| (*a - *b).abs() > 1e-4)
+        .count();
+    assert!(
+        moved > rtn.zeros().len() / 2,
+        "only {moved}/{} zero-points moved",
+        rtn.zeros().len()
+    );
+}
+
+#[test]
+fn policy_memory_accounting_matches_realized_compensators() {
+    // The planner's memory estimate must agree with what compression
+    // actually produces.
+    let model = reference();
+    let tensors = layer_tensors(&model, None);
+    let metas: Vec<_> = tensors.iter().map(|t| t.meta).collect();
+    let policy = RankPolicy::composite(8, SparseAllocation::Uniform(2));
+    let ranks = policy.assign(&metas).unwrap();
+    let planned = compensator_memory_bytes(&metas, &ranks, Some(&QuantConfig::int3_sym()));
+
+    let opts = MiloOptions { max_iters: 1, ..MiloOptions::default() };
+    let compressed =
+        milo::core::compress_model(&tensors, &policy, &opts, 2).unwrap();
+    let realized = compressed.compensator_bytes();
+    assert_eq!(planned, realized, "planned {planned} vs realized {realized}");
+}
+
+#[test]
+fn frequency_policy_tracks_measured_usage() {
+    // Wiring check: the profile flows into the policy, so more-used
+    // experts must end with at least as much rank as less-used ones.
+    let model = MoeModel::synthesize(&MoeConfig::tiny_deepseek(), 72);
+    let corpus: Vec<Vec<u32>> =
+        (0..6).map(|i| (0..24u32).map(|t| (t * 7 + i) % 64).collect()).collect();
+    let profile = milo::moe::profile_expert_frequency(&model, &corpus).unwrap();
+    let tensors = layer_tensors(&model, Some(&profile));
+    let metas: Vec<_> = tensors.iter().map(|t| t.meta).collect();
+    let policy = RankPolicy::composite(0, SparseAllocation::Frequency { avg_rank: 4 });
+    let ranks = policy.assign(&metas).unwrap();
+    for (i, t) in tensors.iter().enumerate() {
+        for (j, u) in tensors.iter().enumerate() {
+            if t.meta.kind.is_dense() || u.meta.kind.is_dense() {
+                continue;
+            }
+            if t.meta.frequency > u.meta.frequency + 1e-6 && t.meta.rows == u.meta.rows {
+                assert!(
+                    ranks[i] >= ranks[j],
+                    "{} (f={}) got rank {} < {} (f={}) rank {}",
+                    t.name,
+                    t.meta.frequency,
+                    ranks[i],
+                    u.name,
+                    u.meta.frequency,
+                    ranks[j]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! End-to-end compression pipeline tests spanning all crates: synthesize
+//! MoE models, compress them with every method and policy, and check the
+//! orderings the paper's evaluation rests on.
+
+use milo::core::{compress_model, MiloOptions, RankPolicy, SparseAllocation};
+use milo::eval::{generate_corpus, perplexity, EvalConfig, EvalContext};
+use milo::moe::{apply_compressed, layer_tensors, profile_expert_frequency, MoeConfig, MoeModel};
+use milo::quant::HqqOptions;
+
+/// A small-but-not-tiny model: big enough for the PPL orderings to be
+/// stable, small enough for CI.
+fn test_config(mixtral: bool) -> MoeConfig {
+    let mut cfg = if mixtral { MoeConfig::mixtral_like() } else { MoeConfig::deepseek_like() };
+    cfg.n_layers = 3;
+    cfg.scaled(0.5)
+}
+
+fn quick_opts(max_iters: usize) -> MiloOptions {
+    MiloOptions {
+        max_iters,
+        hqq: HqqOptions { max_iters: 10, ..HqqOptions::default() },
+        ..MiloOptions::default()
+    }
+}
+
+fn threads() -> usize {
+    std::thread::available_parallelism().map(|t| t.get()).unwrap_or(4)
+}
+
+#[test]
+fn every_policy_compresses_both_models() {
+    for mixtral in [true, false] {
+        let cfg = test_config(mixtral);
+        let reference = MoeModel::synthesize(&cfg, 5);
+        let corpus = generate_corpus(&reference, 4, 16, 9).expect("corpus");
+        let profile = profile_expert_frequency(&reference, &corpus).expect("profile");
+        let tensors = layer_tensors(&reference, Some(&profile));
+        let policies = [
+            RankPolicy::uniform(2),
+            RankPolicy::dense_only(8),
+            RankPolicy::sparse_only(2),
+            RankPolicy::composite(8, SparseAllocation::Kurtosis { avg_rank: 2 }),
+            RankPolicy::composite(8, SparseAllocation::Frequency { avg_rank: 2 }),
+        ];
+        for policy in policies {
+            let compressed = compress_model(&tensors, &policy, &quick_opts(1), threads())
+                .unwrap_or_else(|e| panic!("{policy:?} on {}: {e}", cfg.name));
+            let model = apply_compressed(&reference, &compressed).expect("apply");
+            // The compressed model must run and produce finite logits.
+            let logits = model.forward(&[1, 2, 3, 4]).expect("forward");
+            assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+            // And be dramatically smaller than FP16.
+            assert!(compressed.memory_bytes() < cfg.fp16_bytes() / 3);
+        }
+    }
+}
+
+#[test]
+fn milo_improves_ppl_over_plain_hqq() {
+    // Paper Table 3's headline: MiLo (HQQ + compensators) beats HQQ.
+    let cfg = test_config(true);
+    let reference = MoeModel::synthesize(&cfg, 6);
+    let corpus = generate_corpus(&reference, 8, 24, 11).expect("corpus");
+    let tensors = layer_tensors(&reference, None);
+
+    let hqq = compress_model(&tensors, &RankPolicy::uniform(0), &quick_opts(1), threads())
+        .expect("hqq");
+    let milo = compress_model(
+        &tensors,
+        &RankPolicy::composite(16, SparseAllocation::Uniform(4)),
+        &quick_opts(8),
+        threads(),
+    )
+    .expect("milo");
+
+    let ppl_hqq =
+        perplexity(&apply_compressed(&reference, &hqq).unwrap(), &corpus).expect("ppl");
+    let ppl_milo =
+        perplexity(&apply_compressed(&reference, &milo).unwrap(), &corpus).expect("ppl");
+    assert!(
+        ppl_milo < ppl_hqq,
+        "MiLo ppl {ppl_milo} should beat HQQ ppl {ppl_hqq}"
+    );
+    // The memory overhead for that gain is small (paper: a few percent).
+    let overhead =
+        milo.memory_bytes() as f64 / hqq.memory_bytes() as f64;
+    assert!(overhead < 1.35, "memory overhead {overhead}");
+}
+
+#[test]
+fn higher_rank_budget_reduces_ppl() {
+    // The Fig. 11 trade-off: more compensator rank, lower perplexity.
+    let cfg = test_config(true);
+    let reference = MoeModel::synthesize(&cfg, 7);
+    let corpus = generate_corpus(&reference, 8, 24, 13).expect("corpus");
+    let tensors = layer_tensors(&reference, None);
+    let mut ppls = Vec::new();
+    for rank in [0usize, 4, 16] {
+        let compressed =
+            compress_model(&tensors, &RankPolicy::uniform(rank), &quick_opts(4), threads())
+                .expect("compress");
+        let model = apply_compressed(&reference, &compressed).expect("apply");
+        ppls.push(perplexity(&model, &corpus).expect("ppl"));
+    }
+    assert!(
+        ppls[2] < ppls[0],
+        "rank 16 ({}) should clearly beat rank 0 ({})",
+        ppls[2],
+        ppls[0]
+    );
+}
+
+#[test]
+fn task_fidelity_improves_with_compensation() {
+    let cfg = test_config(false);
+    let reference = MoeModel::synthesize(&cfg, 8);
+    let ctx = EvalContext::prepare(&reference, &EvalConfig { n_seqs: 4, seq_len: 16, corpus_seed: 3, task_prompts: 24 })
+        .expect("context");
+    let tensors = layer_tensors(&reference, None);
+
+    let plain = compress_model(&tensors, &RankPolicy::uniform(0), &quick_opts(1), threads())
+        .expect("hqq");
+    let comp = compress_model(&tensors, &RankPolicy::dense_only(24), &quick_opts(6), threads())
+        .expect("milo");
+    let r_plain = ctx
+        .evaluate("HQQ", &apply_compressed(&reference, &plain).unwrap(), 0, 0.0)
+        .expect("eval");
+    let r_comp = ctx
+        .evaluate("MiLo", &apply_compressed(&reference, &comp).unwrap(), 0, 0.0)
+        .expect("eval");
+    // Average fidelity across all five tasks should not degrade, and PPL
+    // must improve.
+    let avg = |r: &milo::eval::MethodResult| {
+        r.task_scores.iter().map(|&(_, s)| s).sum::<f32>() / r.task_scores.len() as f32
+    };
+    assert!(r_comp.ppl < r_plain.ppl);
+    assert!(
+        avg(&r_comp) >= avg(&r_plain) - 5.0,
+        "fidelity dropped: {} vs {}",
+        avg(&r_comp),
+        avg(&r_plain)
+    );
+}
+
+#[test]
+fn compressed_model_memory_matches_sum_of_parts() {
+    let cfg = test_config(false);
+    let reference = MoeModel::synthesize(&cfg, 9);
+    let tensors = layer_tensors(&reference, None);
+    let compressed = compress_model(
+        &tensors,
+        &RankPolicy::composite(8, SparseAllocation::Uniform(2)),
+        &quick_opts(1),
+        threads(),
+    )
+    .expect("compress");
+    let by_layer: usize = compressed.layers.iter().map(|l| l.layer.memory_bytes()).sum();
+    assert_eq!(compressed.memory_bytes(), by_layer);
+    assert_eq!(
+        compressed.memory_bytes(),
+        compressed.weight_bytes() + compressed.compensator_bytes()
+    );
+}

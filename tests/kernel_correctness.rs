@@ -1,0 +1,186 @@
+//! The paper's Appendix D kernel correctness suite, reproduced against
+//! the CPU implementation of the packed INT3 kernel:
+//!
+//! * **Functional correctness** — Mixtral-style and Llama2-style matrix
+//!   shapes across batch sizes, 5 random seeds, relative error < 0.005
+//!   against an FP32 reference.
+//! * **Error handling** — group size must be 64; the weight shape must be
+//!   a multiple of the tile shape; only the three documented tile shapes
+//!   exist.
+//! * **Boundary conditions** — batch sizes that are not multiples of the
+//!   Tensor-Core granule (16), and reduction dimensions that terminate a
+//!   pipeline stage early.
+
+use milo::pack::gemm::{reference_gemm, relative_error};
+use milo::pack::{GemmKernel, PackError, PackedMatrix, TileShape};
+use milo::quant::{rtn_quantize, QuantConfig, Scheme};
+use milo::tensor::rng::WeightDist;
+use milo::tensor::Matrix;
+use rand::SeedableRng;
+
+/// The Appendix D criterion.
+const CRITERION: f32 = 0.005;
+
+fn packed(n: usize, k: usize, seed: u64, scheme: Scheme) -> (Matrix, PackedMatrix) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(n, k, &mut rng);
+    let cfg = QuantConfig::new(3, 64, scheme).expect("valid config");
+    let q = rtn_quantize(&w, &cfg).expect("quantize");
+    (q.dequantize(), PackedMatrix::pack(&q).expect("pack"))
+}
+
+fn activations(batch: usize, k: usize, seed: u64) -> Matrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xac71);
+    WeightDist::Gaussian { std: 1.0 }.sample_matrix(batch, k, &mut rng)
+}
+
+fn check(kernel: &GemmKernel, n: usize, k: usize, batch: usize, seed: u64, scheme: Scheme) {
+    let (dense, pk) = packed(n, k, seed, scheme);
+    let x = activations(batch, k, seed);
+    let out = kernel.gemm(&x, &pk).expect("kernel run");
+    let reference = reference_gemm(&x, &dense);
+    let err = relative_error(&out, &reference);
+    assert!(
+        err < CRITERION,
+        "(n={n}, k={k}, batch={batch}, seed={seed}, {scheme:?}): rel err {err}"
+    );
+}
+
+#[test]
+fn functional_mixtral_shapes() {
+    // Scaled analogues of test_mixtral_shape(): the 4 distinct matrix
+    // shapes of the Mixtral block (q/k/v/o square, w1/w3 tall, w2 wide,
+    // head-ish), across batch sizes, 5 seeds each.
+    let shapes = [(256usize, 256usize), (896, 256), (256, 896), (512, 256)];
+    let kernel = GemmKernel { tile: TileShape::T128x128 };
+    for &(n, k) in &shapes {
+        for batch in [1usize, 3, 16, 64] {
+            for seed in 0..5 {
+                check(&kernel, n, k, batch, seed, Scheme::Asymmetric);
+            }
+        }
+    }
+}
+
+#[test]
+fn functional_llama_shapes() {
+    // Scaled analogues of test_llama_shape(): a spread of rectangular
+    // shapes with both orientations, batch sizes 1..=1024 spot-checked.
+    let shapes = [
+        (128usize, 128usize),
+        (128, 384),
+        (384, 128),
+        (256, 128),
+        (128, 256),
+        (640, 128),
+        (128, 640),
+        (384, 384),
+    ];
+    let kernel = GemmKernel { tile: TileShape::T128x128 };
+    for &(n, k) in &shapes {
+        for batch in [1usize, 17, 128] {
+            for seed in 0..5 {
+                check(&kernel, n, k, batch, seed, Scheme::Asymmetric);
+            }
+        }
+    }
+}
+
+#[test]
+fn functional_symmetric_scheme() {
+    let kernel = GemmKernel { tile: TileShape::T128x128 };
+    for seed in 0..5 {
+        check(&kernel, 256, 256, 16, seed, Scheme::Symmetric);
+    }
+}
+
+#[test]
+fn functional_large_batch_1024() {
+    let kernel = GemmKernel { tile: TileShape::T128x128 };
+    check(&kernel, 128, 128, 1024, 0, Scheme::Asymmetric);
+}
+
+#[test]
+fn error_handling_group_size_must_be_64() {
+    // Appendix D rule 1.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(128, 128, &mut rng);
+    let cfg = QuantConfig::new(3, 32, Scheme::Asymmetric).unwrap();
+    let q = rtn_quantize(&w, &cfg).unwrap();
+    let pk = PackedMatrix::pack(&q).unwrap();
+    let x = activations(1, 128, 1);
+    assert!(matches!(
+        GemmKernel::default().gemm(&x, &pk),
+        Err(PackError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn error_handling_shape_must_match_tile() {
+    // Appendix D rule 2: (k, n) must be a multiple of the tile shape.
+    let (_, pk) = packed(128, 128, 2, Scheme::Asymmetric);
+    let x = activations(1, 128, 2);
+    for tile in [TileShape::T256x64, TileShape::T64x256] {
+        assert!(
+            matches!(
+                GemmKernel { tile }.gemm(&x, &pk),
+                Err(PackError::InvalidShape(_))
+            ),
+            "tile {tile:?} should reject a 128x128 weight"
+        );
+    }
+    assert!(GemmKernel { tile: TileShape::T128x128 }.gemm(&x, &pk).is_ok());
+}
+
+#[test]
+fn error_handling_only_documented_tiles_exist() {
+    // Appendix D rule 3: the tile-shape configuration is restricted to
+    // (64,256), (128,128), (256,64) — encoded in the type system.
+    let dims: Vec<(usize, usize)> = TileShape::all().iter().map(|t| t.dims()).collect();
+    assert_eq!(dims, vec![(256, 64), (128, 128), (64, 256)]);
+}
+
+#[test]
+fn boundary_batch_not_multiple_of_16() {
+    // Appendix D boundary 1: padding must not change results. Compare a
+    // ragged batch against the same rows embedded in a padded batch.
+    let (_, pk) = packed(128, 128, 3, Scheme::Asymmetric);
+    let kernel = GemmKernel::default();
+    let full = activations(32, 128, 3);
+    let out_full = kernel.gemm(&full, &pk).unwrap();
+    for ragged in [1usize, 5, 15, 17, 31] {
+        let sub = full.submatrix(0, ragged, 0, 128);
+        let out = kernel.gemm(&sub, &pk).unwrap();
+        for b in 0..ragged {
+            assert_eq!(out.row(b), out_full.row(b), "batch {ragged}, row {b}");
+        }
+    }
+}
+
+#[test]
+fn boundary_reduction_dim_terminates_pipeline_early() {
+    // Appendix D boundary 2: reduction dimensions that are not a multiple
+    // of 4 × tile_k still produce correct results (the last pipeline
+    // stage terminates early). With tile (64, 256): 4·64 = 256; k = 320
+    // and k = 576 are not multiples.
+    let kernel = GemmKernel { tile: TileShape::T64x256 };
+    for k in [320usize, 576] {
+        for seed in 0..5 {
+            check(&kernel, 256, k, 16, seed, Scheme::Asymmetric);
+        }
+    }
+}
+
+#[test]
+fn all_tile_shapes_agree_numerically() {
+    // Different tile shapes change the FP32 accumulation order, so
+    // agreement is to rounding, not bitwise.
+    let (_, pk) = packed(256, 256, 4, Scheme::Asymmetric);
+    let x = activations(8, 256, 4);
+    let outs: Vec<Matrix> = TileShape::all()
+        .iter()
+        .map(|&tile| GemmKernel { tile }.gemm(&x, &pk).unwrap())
+        .collect();
+    assert!(relative_error(&outs[1], &outs[0]) < 1e-6);
+    assert!(relative_error(&outs[2], &outs[0]) < 1e-6);
+}

@@ -1,0 +1,114 @@
+//! Integration tests of the analytical performance model against the
+//! paper's system-level claims (Figs. 9–10, Table 7).
+
+use milo::gpu_sim::{
+    end_to_end, gemm_time, mlp_shapes, tflops, Backend, Device, E2eResult, GemmShape,
+    KernelConfig, KernelKind, MlpModel, ModelSpec, Optimizations,
+};
+
+fn dev() -> Device {
+    Device::a100_40gb()
+}
+
+#[test]
+fn table7_cells_reproduce_paper_structure() {
+    let spec = ModelSpec::mixtral_8x7b();
+    // PyTorch row: OOM everywhere.
+    for batch in [1usize, 16, 32] {
+        assert_eq!(end_to_end(&dev(), Backend::PyTorchFp16, &spec, batch), E2eResult::OutOfMemory);
+    }
+    // GPTQ row: a number at bs 1, dashes after.
+    assert!(end_to_end(&dev(), Backend::Gptq3bit, &spec, 1).latency().is_some());
+    assert_eq!(end_to_end(&dev(), Backend::Gptq3bit, &spec, 16), E2eResult::Unsupported);
+    // MiLo beats MARLIN at every batch, by roughly the paper's 1.2x.
+    for batch in [1usize, 16, 32] {
+        let milo = end_to_end(&dev(), Backend::Milo, &spec, batch).latency().unwrap();
+        let marlin = end_to_end(&dev(), Backend::Marlin, &spec, batch).latency().unwrap();
+        let speedup = marlin / milo;
+        assert!((1.1..1.45).contains(&speedup), "batch {batch}: {speedup}");
+    }
+}
+
+#[test]
+fn fig9_batch1_ranking() {
+    // Memory-bound regime: 3-bit kernels on top, FP16-path unfused last.
+    for model in MlpModel::all() {
+        let t = |kind: KernelKind| -> f64 {
+            mlp_shapes(model, 1)
+                .into_iter()
+                .map(|s| gemm_time(&dev(), &KernelConfig::new(kind), s).unwrap())
+                .sum()
+        };
+        assert!(t(KernelKind::MiloSym) < t(KernelKind::Marlin), "{}", model.name());
+        assert!(t(KernelKind::Marlin) < t(KernelKind::DequantCutlass), "{}", model.name());
+    }
+}
+
+#[test]
+fn fig9_batch16_milo_wins_every_model() {
+    for model in MlpModel::all() {
+        let milo: f64 = mlp_shapes(model, 16)
+            .into_iter()
+            .map(|s| gemm_time(&dev(), &KernelConfig::new(KernelKind::MiloSym), s).unwrap())
+            .sum();
+        let marlin: f64 = mlp_shapes(model, 16)
+            .into_iter()
+            .map(|s| gemm_time(&dev(), &KernelConfig::new(KernelKind::Marlin), s).unwrap())
+            .sum();
+        assert!(milo < marlin, "{}: milo {milo} vs marlin {marlin}", model.name());
+    }
+}
+
+#[test]
+fn fig10_ablation_ordering_matches_paper() {
+    let base = Optimizations::default();
+    let time = |model: MlpModel, opts: Optimizations| -> f64 {
+        let cfg = KernelConfig { kind: KernelKind::MiloAsym, opts };
+        mlp_shapes(model, 16)
+            .into_iter()
+            .map(|s| gemm_time(&dev(), &cfg, s).unwrap())
+            .sum()
+    };
+    // (1) async load is the most critical optimization for every model.
+    for model in MlpModel::all() {
+        let no_async = time(model, Optimizations { async_load: false, ..base });
+        let no_dq = time(model, Optimizations { milo_dequant: false, ..base });
+        let no_tile = time(model, Optimizations { tile_tuning: false, ..base });
+        assert!(no_async >= no_dq && no_async >= no_tile, "{}", model.name());
+    }
+    // (2) dequant matters more as MLPs grow.
+    let rel = |model: MlpModel, opts: Optimizations| time(model, opts) / time(model, base);
+    assert!(
+        rel(MlpModel::Falcon180b, Optimizations { milo_dequant: false, ..base })
+            >= rel(MlpModel::DeepSeekMoe, Optimizations { milo_dequant: false, ..base })
+    );
+    // (3) tile tuning matters most for the smallest MLP and vanishes for
+    // the largest.
+    let tile_small = rel(MlpModel::DeepSeekMoe, Optimizations { tile_tuning: false, ..base });
+    let tile_large = rel(MlpModel::Falcon180b, Optimizations { tile_tuning: false, ..base });
+    assert!(tile_small > 1.01, "tile tuning should matter on DeepSeek ({tile_small})");
+    assert!(tile_small >= tile_large);
+}
+
+#[test]
+fn tflops_scale_with_batch_toward_compute_bound() {
+    // Throughput must rise steeply from bs 1 to bs 32 (the memory-bound
+    // to compute-bound transition of Fig. 9).
+    let cfg = KernelConfig::new(KernelKind::MiloSym);
+    let shape1 = GemmShape::new(1, 4096, 14336);
+    let shape32 = GemmShape::new(32, 4096, 14336);
+    let t1 = tflops(&dev(), &cfg, shape1).unwrap();
+    let t32 = tflops(&dev(), &cfg, shape32).unwrap();
+    assert!(t32 > 10.0 * t1, "bs1 {t1} TFLOPS vs bs32 {t32} TFLOPS");
+}
+
+#[test]
+fn custom_specs_scale_sensibly() {
+    // Half the layers -> roughly half the post-overhead latency.
+    let full = ModelSpec::mixtral_8x7b();
+    let mut half = full.clone();
+    half.n_layers /= 2;
+    let t_full = end_to_end(&dev(), Backend::Milo, &full, 1).latency().unwrap();
+    let t_half = end_to_end(&dev(), Backend::Milo, &half, 1).latency().unwrap();
+    assert!(t_half < t_full);
+}

@@ -1,0 +1,92 @@
+//! Integration test of the save/load workflow across crates: synthesize
+//! → compress → save both artifacts → reload → evaluate — the loaded
+//! pipeline must behave identically to the in-memory one.
+
+use milo::core::serialize::{load_compressed_model, save_compressed_model};
+use milo::core::{compress_model, MiloOptions, RankPolicy, SparseAllocation};
+use milo::engine::PackedMoeModel;
+use milo::eval::{generate_corpus, perplexity};
+use milo::moe::serialize::{load_model, save_model};
+use milo::moe::{apply_compressed, layer_tensors, MoeConfig, MoeModel};
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("milo_integration_serialize");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(name)
+}
+
+#[test]
+fn full_pipeline_survives_disk_round_trip() {
+    let mut cfg = MoeConfig::tiny_mixtral();
+    cfg.n_layers = 2;
+    let reference = MoeModel::synthesize(&cfg, 55);
+    let tensors = layer_tensors(&reference, None);
+    let opts = MiloOptions { max_iters: 2, ..MiloOptions::default() };
+    let policy = RankPolicy::composite(8, SparseAllocation::Uniform(2));
+    let compressed = compress_model(&tensors, &policy, &opts, 2).expect("compress");
+
+    // Save both artifacts.
+    let model_path = tmp("pipeline_ref.moem");
+    let comp_path = tmp("pipeline_comp.milo");
+    save_model(&model_path, &reference).expect("save model");
+    save_compressed_model(&comp_path, &compressed).expect("save compressed");
+
+    // Reload and verify equivalence.
+    let loaded_ref = load_model(&model_path).expect("load model");
+    let loaded_comp = load_compressed_model(&comp_path).expect("load compressed");
+    assert_eq!(loaded_ref, reference);
+    assert_eq!(loaded_comp.memory_bytes(), compressed.memory_bytes());
+
+    let a = apply_compressed(&reference, &compressed).expect("apply original");
+    let b = apply_compressed(&loaded_ref, &loaded_comp).expect("apply loaded");
+    let tokens = [1u32, 9, 3, 22];
+    assert_eq!(a.forward(&tokens).unwrap(), b.forward(&tokens).unwrap());
+
+    // The evaluation metric is identical too.
+    let corpus = generate_corpus(&reference, 3, 12, 1).expect("corpus");
+    assert_eq!(
+        perplexity(&a, &corpus).unwrap(),
+        perplexity(&b, &corpus).unwrap()
+    );
+
+    std::fs::remove_file(model_path).ok();
+    std::fs::remove_file(comp_path).ok();
+}
+
+#[test]
+fn loaded_model_builds_a_working_engine() {
+    let mut cfg = MoeConfig::tiny_mixtral();
+    cfg.d_model = 128;
+    cfg.expert_ffn = 256;
+    cfg.n_layers = 2;
+    let reference = MoeModel::synthesize(&cfg, 56);
+    let tensors = layer_tensors(&reference, None);
+    let opts = MiloOptions { max_iters: 1, ..MiloOptions::default() };
+    let compressed =
+        compress_model(&tensors, &RankPolicy::uniform(2), &opts, 2).expect("compress");
+
+    let comp_path = tmp("engine_comp.milo");
+    save_compressed_model(&comp_path, &compressed).expect("save");
+    let loaded = load_compressed_model(&comp_path).expect("load");
+
+    let engine_a = PackedMoeModel::build(&reference, &compressed).expect("engine");
+    let engine_b = PackedMoeModel::build(&reference, &loaded).expect("engine from disk");
+    let tokens = [4u32, 8, 15];
+    assert_eq!(
+        engine_a.forward(&tokens).unwrap(),
+        engine_b.forward(&tokens).unwrap()
+    );
+    std::fs::remove_file(comp_path).ok();
+}
+
+#[test]
+fn truncated_files_fail_cleanly() {
+    let cfg = MoeConfig::tiny_mixtral();
+    let reference = MoeModel::synthesize(&cfg, 57);
+    let path = tmp("truncated.moem");
+    save_model(&path, &reference).expect("save");
+    let full = std::fs::read(&path).expect("read");
+    std::fs::write(&path, &full[..full.len() / 2]).expect("truncate");
+    assert!(load_model(&path).is_err());
+    std::fs::remove_file(path).ok();
+}
