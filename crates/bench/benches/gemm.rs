@@ -2,51 +2,51 @@
 //! two-pass pipeline and the FP32 reference, across tile shapes and
 //! batch sizes.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use milo_eval::bench::{black_box, Harness};
 use milo_pack::gemm::reference_gemm;
 use milo_pack::{GemmKernel, PackedMatrix, TileShape};
 use milo_quant::{rtn_quantize, QuantConfig};
+use milo_tensor::rng::SeedableRng;
 use milo_tensor::rng::WeightDist;
 use milo_tensor::Matrix;
-use rand::SeedableRng;
 
 fn setup(batch: usize, k: usize, n: usize) -> (Matrix, Matrix, PackedMatrix) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let mut rng = milo_tensor::rng::StdRng::seed_from_u64(7);
     let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(n, k, &mut rng);
     let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(batch, k, &mut rng);
     let q = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();
     (x, q.dequantize(), PackedMatrix::pack(&q).unwrap())
 }
 
-fn bench_fused_vs_unfused(c: &mut Criterion) {
-    let mut group = c.benchmark_group("packed_gemm_256x256");
+fn bench_fused_vs_unfused(c: &mut Harness) {
     for batch in [1usize, 16] {
         let (x, dense, packed) = setup(batch, 256, 256);
         let kernel = GemmKernel::default();
-        group.bench_with_input(BenchmarkId::new("fused", batch), &batch, |b, _| {
+        c.bench_function(format!("packed_gemm_256x256/fused/{batch}"), |b| {
             b.iter(|| kernel.gemm(black_box(&x), black_box(&packed)).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("unfused", batch), &batch, |b, _| {
+        c.bench_function(format!("packed_gemm_256x256/unfused/{batch}"), |b| {
             b.iter(|| kernel.gemm_unfused(black_box(&x), black_box(&packed)).unwrap())
         });
-        group.bench_with_input(BenchmarkId::new("fp32_reference", batch), &batch, |b, _| {
+        c.bench_function(format!("packed_gemm_256x256/fp32_reference/{batch}"), |b| {
             b.iter(|| reference_gemm(black_box(&x), black_box(&dense)))
         });
     }
-    group.finish();
 }
 
-fn bench_tile_shapes(c: &mut Criterion) {
-    let mut group = c.benchmark_group("tile_shapes_256x256_bs16");
+fn bench_tile_shapes(c: &mut Harness) {
     let (x, _, packed) = setup(16, 256, 256);
     for tile in TileShape::all() {
         let kernel = GemmKernel { tile };
-        group.bench_function(format!("{tile:?}"), |b| {
+        c.bench_function(format!("tile_shapes_256x256_bs16/{tile:?}"), |b| {
             b.iter(|| kernel.gemm(black_box(&x), black_box(&packed)).unwrap())
         });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_fused_vs_unfused, bench_tile_shapes);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("gemm");
+    bench_fused_vs_unfused(&mut h);
+    bench_tile_shapes(&mut h);
+    h.finish();
+}

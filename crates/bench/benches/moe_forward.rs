@@ -1,9 +1,9 @@
 //! Microbenchmarks of the MoE substrate: forward pass and routing.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use milo_eval::bench::{black_box, Harness};
 use milo_moe::{MoeConfig, MoeModel};
 
-fn bench_forward(c: &mut Criterion) {
+fn bench_forward(c: &mut Harness) {
     let mixtral = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 1);
     let deepseek = MoeModel::synthesize(&MoeConfig::tiny_deepseek(), 2);
     let tokens: Vec<u32> = (0..32).map(|i| (i * 7) % 64).collect();
@@ -15,12 +15,16 @@ fn bench_forward(c: &mut Criterion) {
     });
 }
 
-fn bench_synthesis(c: &mut Criterion) {
+fn bench_synthesis(c: &mut Harness) {
     let cfg = MoeConfig::tiny_mixtral();
     c.bench_function("tiny_mixtral_synthesize", |b| {
         b.iter(|| MoeModel::synthesize(black_box(&cfg), 3))
     });
 }
 
-criterion_group!(benches, bench_forward, bench_synthesis);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("moe_forward");
+    bench_forward(&mut h);
+    bench_synthesis(&mut h);
+    h.finish();
+}

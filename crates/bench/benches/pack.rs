@@ -3,7 +3,7 @@
 //! naive cast path (the software analogue of the paper's "MiLo Dequant"
 //! ablation).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use milo_eval::bench::{black_box, Harness};
 use milo_pack::{
     dequant_word_asym, dequant_word_sym, naive_dequant_word, pack_group, unpack_group,
     virtual_word, PackedMatrix,
@@ -11,10 +11,10 @@ use milo_pack::{
 use milo_quant::{rtn_quantize, QuantConfig};
 use milo_tensor::rng::WeightDist;
 use milo_tensor::F16;
-use rand::{Rng, SeedableRng};
+use milo_tensor::rng::{Rng, SeedableRng};
 
 fn codes(seed: u64) -> [u8; 32] {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
     let mut c = [0u8; 32];
     for v in &mut c {
         *v = rng.gen_range(0..8);
@@ -22,7 +22,7 @@ fn codes(seed: u64) -> [u8; 32] {
     c
 }
 
-fn bench_pack(c: &mut Criterion) {
+fn bench_pack(c: &mut Harness) {
     let group = codes(1);
     c.bench_function("pack_group_32_weights", |b| {
         b.iter(|| pack_group(black_box(&group)))
@@ -36,7 +36,7 @@ fn bench_pack(c: &mut Criterion) {
     });
 }
 
-fn bench_dequant(c: &mut Criterion) {
+fn bench_dequant(c: &mut Harness) {
     let packed = pack_group(&codes(2));
     let word = packed[0];
     let scale = F16::from_f32(0.02);
@@ -52,8 +52,8 @@ fn bench_dequant(c: &mut Criterion) {
     });
 }
 
-fn bench_matrix_dequant(c: &mut Criterion) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+fn bench_matrix_dequant(c: &mut Harness) {
+    let mut rng = milo_tensor::rng::StdRng::seed_from_u64(3);
     let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(128, 256, &mut rng);
     let q = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();
     let packed = PackedMatrix::pack(&q).unwrap();
@@ -65,5 +65,10 @@ fn bench_matrix_dequant(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pack, bench_dequant, bench_matrix_dequant);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("pack");
+    bench_pack(&mut h);
+    bench_dequant(&mut h);
+    bench_matrix_dequant(&mut h);
+    h.finish();
+}

@@ -2,21 +2,21 @@
 //! blocks — the source of the quantization-time comparison in paper
 //! Table 1 / Fig. 8.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use milo_eval::bench::{black_box, Harness};
 use milo_core::{milo_compress, LowRankCompensator, MiloOptions};
 use milo_quant::calib::{synthetic_calibration, CalibProfile};
 use milo_quant::{gptq_quantize, hqq_quantize, rtn_quantize, GptqOptions, HqqOptions, QuantConfig};
 use milo_tensor::linalg::truncated_svd;
 use milo_tensor::rng::WeightDist;
 use milo_tensor::Matrix;
-use rand::SeedableRng;
+use milo_tensor::rng::SeedableRng;
 
 fn weight(rows: usize, cols: usize) -> Matrix {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let mut rng = milo_tensor::rng::StdRng::seed_from_u64(11);
     WeightDist::StudentT { dof: 8.0, scale: 0.06 }.sample_matrix(rows, cols, &mut rng)
 }
 
-fn bench_quantizers(c: &mut Criterion) {
+fn bench_quantizers(c: &mut Harness) {
     let w = weight(256, 256);
     let cfg = QuantConfig::int3_asym();
     c.bench_function("rtn_256x256_int3", |b| {
@@ -31,7 +31,7 @@ fn bench_quantizers(c: &mut Criterion) {
     });
 }
 
-fn bench_svd(c: &mut Criterion) {
+fn bench_svd(c: &mut Harness) {
     let e = weight(256, 256).scale(0.1);
     c.bench_function("truncated_svd_rank16_256x256", |b| {
         b.iter(|| truncated_svd(black_box(&e), 16, 8, 2, 5).unwrap())
@@ -41,7 +41,7 @@ fn bench_svd(c: &mut Criterion) {
     });
 }
 
-fn bench_milo_pipeline(c: &mut Criterion) {
+fn bench_milo_pipeline(c: &mut Harness) {
     let w = weight(256, 256);
     let opts = MiloOptions { max_iters: 3, ..MiloOptions::default() };
     c.bench_function("milo_compress_rank16_3iters_256x256", |b| {
@@ -49,5 +49,10 @@ fn bench_milo_pipeline(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_quantizers, bench_svd, bench_milo_pipeline);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("quantizers");
+    bench_quantizers(&mut h);
+    bench_svd(&mut h);
+    bench_milo_pipeline(&mut h);
+    h.finish();
+}

@@ -19,8 +19,8 @@ use milo_eval::{generate_corpus, perplexity, Table};
 use milo_moe::model::sample_from_logits;
 use milo_moe::MoeModel;
 use milo_quant::QuantConfig;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use milo_tensor::rng::StdRng;
+use milo_tensor::rng::{Rng, SeedableRng};
 
 /// Samples sequences whose tokens are restricted to `vocab_limit` —
 /// a narrow "domain" inside the teacher's distribution.

@@ -127,13 +127,13 @@ fn gptq_records(
     seed: u64,
 ) -> Result<Vec<LayerRecord>, BoxError> {
     use milo_tensor::{rng::WeightDist, stats, Matrix};
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     let records = par_map(tensors.len(), |i| {
         let t = &tensors[i];
         let dim = t.weight.cols();
         let min_rows = dim + 16;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed.wrapping_add(i as u64));
         let x = match activations.get(&t.name) {
             Some(captured) if captured.rows() >= min_rows => captured.clone(),
             Some(captured) => {

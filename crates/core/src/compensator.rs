@@ -201,10 +201,10 @@ mod tests {
     use super::*;
     use milo_tensor::linalg::jacobi_svd;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn residual(rows: usize, cols: usize, seed: u64) -> Matrix {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         WeightDist::Gaussian { std: 0.02 }.sample_matrix(rows, cols, &mut rng)
     }
 

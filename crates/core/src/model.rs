@@ -9,8 +9,8 @@ use crate::optimizer::{milo_compress, CompressedLayer, MiloOptions};
 use crate::policy::{LayerMeta, RankPolicy};
 use crate::{MiloError, Result};
 use milo_tensor::Matrix;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// One named weight matrix plus the metadata rank policies consume.
 #[derive(Debug, Clone)]
@@ -89,28 +89,34 @@ pub fn compress_model(
     let results: Mutex<Vec<Option<Result<LayerRecord>>>> =
         Mutex::new((0..layers.len()).map(|_| None).collect());
 
-    crossbeam::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= layers.len() {
-                    break;
-                }
-                let lt = &layers[i];
-                let out = milo_compress(&lt.weight, ranks[i], opts).map(|layer| LayerRecord {
-                    name: lt.name.clone(),
-                    meta: lt.meta,
-                    rank: ranks[i],
-                    layer,
-                });
-                results.lock()[i] = Some(out);
-            });
-        }
-    })
-    .map_err(|_| MiloError::Policy("a compression worker panicked".into()))?;
+    let all_ok = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= layers.len() {
+                        break;
+                    }
+                    let lt = &layers[i];
+                    let out =
+                        milo_compress(&lt.weight, ranks[i], opts).map(|layer| LayerRecord {
+                            name: lt.name.clone(),
+                            meta: lt.meta,
+                            rank: ranks[i],
+                            layer,
+                        });
+                    results.lock().expect("results mutex poisoned")[i] = Some(out);
+                })
+            })
+            .collect();
+        handles.into_iter().all(|h| h.join().is_ok())
+    });
+    if !all_ok {
+        return Err(MiloError::Policy("a compression worker panicked".into()));
+    }
 
     let mut out = Vec::with_capacity(layers.len());
-    for slot in results.into_inner() {
+    for slot in results.into_inner().expect("results mutex poisoned") {
         out.push(slot.expect("every index was processed")?);
     }
     Ok(CompressedModel { layers: out })
@@ -122,10 +128,10 @@ mod tests {
     use crate::policy::{LayerKind, SparseAllocation};
     use milo_tensor::rng::WeightDist;
     use milo_tensor::stats;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn make_layers(seed: u64) -> Vec<LayerTensor> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         let mut layers = Vec::new();
         let attn = WeightDist::StudentT { dof: 5.0, scale: 0.05 }.sample_matrix(64, 64, &mut rng);
         layers.push(LayerTensor {

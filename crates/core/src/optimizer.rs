@@ -104,9 +104,9 @@ impl CompressedLayer {
 /// ```
 /// use milo_core::{milo_compress, MiloOptions};
 /// use milo_tensor::{rng::WeightDist, stats};
-/// use rand::SeedableRng;
+/// use milo_tensor::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let mut rng = milo_tensor::rng::StdRng::seed_from_u64(1);
 /// let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(64, 64, &mut rng);
 /// let opts = MiloOptions { max_iters: 2, ..MiloOptions::default() };
 ///
@@ -202,10 +202,10 @@ mod tests {
     use super::*;
     use milo_tensor::rng::WeightDist;
     use milo_tensor::stats;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn heavy(rows: usize, cols: usize, seed: u64) -> Matrix {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         WeightDist::StudentT { dof: 5.0, scale: 0.05 }.sample_matrix(rows, cols, &mut rng)
     }
 
@@ -311,7 +311,7 @@ mod tests {
         // Paper Observation 2: heavy-tailed (high-kurtosis) weights suffer
         // more under INT3 and hence benefit more from compensation.
         let attn = heavy(64, 64, 10); // Student-t, heavy tails
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(11);
         let expert = WeightDist::Uniform { bound: 0.1 }.sample_matrix(64, 64, &mut rng);
 
         let gain = |w: &Matrix| {

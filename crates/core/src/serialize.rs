@@ -187,11 +187,11 @@ mod tests {
     use crate::optimizer::MiloOptions;
     use crate::policy::RankPolicy;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
     use std::io::Cursor;
 
     fn sample_model(compensator_cfg: Option<milo_quant::QuantConfig>) -> CompressedModel {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(5);
         let layers: Vec<LayerTensor> = (0..3)
             .map(|i| {
                 let w =

@@ -144,10 +144,10 @@ mod tests {
     use milo_core::{milo_compress, MiloOptions};
     use milo_tensor::rng::WeightDist;
     use milo_tensor::stats;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn compressed(rows: usize, cols: usize, rank: usize) -> (Matrix, CompressedLayer) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(3);
         let w = WeightDist::Gaussian { std: 0.06 }.sample_matrix(rows, cols, &mut rng);
         let opts = MiloOptions { max_iters: 2, ..MiloOptions::default() };
         let layer = milo_compress(&w, rank, &opts).unwrap();
@@ -173,7 +173,7 @@ mod tests {
         for (rows, cols) in [(256usize, 128usize), (96, 192)] {
             let (_, layer) = compressed(rows, cols, 4);
             let lin = PackedLinear::build(&layer).unwrap();
-            let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+            let mut rng = milo_tensor::rng::StdRng::seed_from_u64(9);
             let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(3, cols, &mut rng);
             let y = lin.forward(&x).unwrap();
             let reference = x.matmul(&layer.effective_weight().transpose()).unwrap();
@@ -191,7 +191,7 @@ mod tests {
 
     #[test]
     fn int4_weights_use_the_w4_packed_path() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(13);
         let w = WeightDist::Gaussian { std: 0.06 }.sample_matrix(256, 128, &mut rng);
         let q = milo_quant::rtn_quantize(&w, &milo_quant::QuantConfig::int4_asym()).unwrap();
         let layer = CompressedLayer { qweight: q.clone(), compensator: None, convergence: vec![] };

@@ -8,8 +8,8 @@
 
 use crate::par::par_map;
 use milo_moe::{MoeModel, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use milo_tensor::rng::StdRng;
+use milo_tensor::rng::{Rng, SeedableRng};
 
 /// A point estimate with a percentile-bootstrap interval.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -141,16 +141,25 @@ mod tests {
 
     #[test]
     fn more_data_narrows_the_interval() {
+        // "More data → narrower interval" only holds in expectation: a
+        // 3-sequence corpus has just 3 resampling units, so any single
+        // seed's percentile band is itself extremely noisy (one draw
+        // produced small ±0.56 vs large ±2.03). Average the half-widths
+        // over several independent corpora instead of weakening the
+        // per-seed tolerance; the aggregate contrast is the real claim.
         let m = teacher();
-        let small = generate_corpus(&m, 3, 10, 5).unwrap();
-        let large = generate_corpus(&m, 12, 20, 5).unwrap();
-        let b_small = perplexity_ci(&m, &small, 200, 0.1, 6).unwrap();
-        let b_large = perplexity_ci(&m, &large, 200, 0.1, 6).unwrap();
+        let (mut small_sum, mut large_sum) = (0.0f32, 0.0f32);
+        for seed in 5..10 {
+            let small = generate_corpus(&m, 3, 10, seed).unwrap();
+            let large = generate_corpus(&m, 12, 20, seed).unwrap();
+            small_sum += perplexity_ci(&m, &small, 200, 0.1, seed + 100).unwrap().half_width();
+            large_sum += perplexity_ci(&m, &large, 200, 0.1, seed + 100).unwrap().half_width();
+        }
         assert!(
-            b_large.half_width() < b_small.half_width() * 1.5,
-            "large ±{} vs small ±{}",
-            b_large.half_width(),
-            b_small.half_width()
+            large_sum < small_sum,
+            "mean large ±{} vs mean small ±{}",
+            large_sum / 5.0,
+            small_sum / 5.0
         );
     }
 

@@ -13,11 +13,11 @@ pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         return (0..n).map(f).collect();
     }
     let chunk = n.div_ceil(threads);
-    let chunks: Vec<Vec<T>> = crossbeam::scope(|scope| {
+    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let f = &f;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     (t * chunk..n.min((t + 1) * chunk)).map(f).collect::<Vec<T>>()
                 })
             })
@@ -26,8 +26,7 @@ pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
             .into_iter()
             .map(|h| h.join().expect("evaluation worker panicked"))
             .collect()
-    })
-    .expect("scoped threads failed");
+    });
     chunks.into_iter().flatten().collect()
 }
 

@@ -10,8 +10,8 @@
 
 use crate::par::par_map;
 use milo_moe::{MoeModel, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use milo_tensor::rng::StdRng;
+use milo_tensor::rng::{Rng, SeedableRng};
 
 /// Samples an evaluation corpus of `n_seqs` sequences of `seq_len`
 /// tokens each from the teacher model at temperature 1.0, in parallel

@@ -27,8 +27,8 @@
 //! forward per prompt).
 
 use milo_moe::{MoeModel, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use milo_tensor::rng::StdRng;
+use milo_tensor::rng::{Rng, SeedableRng};
 
 /// How a task scores a prompt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -132,10 +132,10 @@ pub fn rms_norm(x: &Matrix) -> Matrix {
 mod tests {
     use super::*;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn attn(d: usize, heads: usize, seed: u64) -> Attention {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         let dist = WeightDist::Gaussian { std: 0.1 };
         Attention::new(
             dist.sample_matrix(d, d, &mut rng),
@@ -157,7 +157,7 @@ mod tests {
     fn causality_holds() {
         // Changing a later token must not affect earlier outputs.
         let a = attn(16, 2, 2);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(3);
         let x1 = WeightDist::Gaussian { std: 1.0 }.sample_matrix(6, 16, &mut rng);
         let mut x2 = x1.clone();
         for c in 0..16 {
@@ -190,7 +190,7 @@ mod tests {
 
     #[test]
     fn rms_norm_produces_unit_rms() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(5);
         let x = WeightDist::Gaussian { std: 3.0 }.sample_matrix(4, 32, &mut rng);
         let y = rms_norm(&x);
         for r in 0..4 {

@@ -170,7 +170,7 @@ impl MoeModel {
         prompt: &[u32],
         len: usize,
         temperature: f32,
-        rng: &mut rand::rngs::StdRng,
+        rng: &mut milo_tensor::rng::StdRng,
     ) -> Result<Vec<u32>> {
         let mut state = DecodeState::new(self);
         let mut logits = self.prefill(prompt, &mut state)?;

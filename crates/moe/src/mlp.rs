@@ -82,10 +82,10 @@ impl Mlp {
 mod tests {
     use super::*;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn mlp(ffn: usize, d: usize, seed: u64) -> Mlp {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         let dist = WeightDist::Gaussian { std: 0.1 };
         Mlp::new(
             dist.sample_matrix(ffn, d, &mut rng),
@@ -121,7 +121,7 @@ mod tests {
         // Each row is processed independently: permuting rows permutes
         // outputs.
         let m = mlp(16, 8, 3);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(4);
         let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(2, 8, &mut rng);
         let y = m.forward(&x).unwrap();
         let x_swapped = Matrix::from_fn(2, 8, |r, c| x[(1 - r, c)]);

@@ -7,8 +7,8 @@ use crate::router::Router;
 use crate::{MoeError, Result};
 use milo_tensor::rng::WeightDist;
 use milo_tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use milo_tensor::rng::StdRng;
+use milo_tensor::rng::{Rng, SeedableRng};
 
 /// The feed-forward part of a transformer layer.
 #[derive(Debug, Clone, PartialEq)]

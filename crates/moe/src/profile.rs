@@ -91,10 +91,10 @@ pub fn profile_expert_frequency(
 mod tests {
     use super::*;
     use crate::config::MoeConfig;
-    use rand::{Rng, SeedableRng};
+    use milo_tensor::rng::{Rng, SeedableRng};
 
     fn corpus(vocab: usize, n: usize, len: usize, seed: u64) -> Vec<Vec<u32>> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| (0..len).map(|_| rng.gen_range(0..vocab as u32)).collect())
             .collect()

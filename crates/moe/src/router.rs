@@ -68,10 +68,10 @@ impl Router {
 mod tests {
     use super::*;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn router(n: usize, d: usize, top_k: usize, bias_std: f32, seed: u64) -> Router {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         let w = WeightDist::Gaussian { std: 0.5 }.sample_matrix(n, d, &mut rng);
         let bias: Vec<f32> = (0..n)
             .map(|_| WeightDist::Gaussian { std: bias_std }.sample(&mut rng))
@@ -104,7 +104,7 @@ mod tests {
     fn bias_skews_selection() {
         let mut r = router(4, 8, 1, 0.0, 2);
         r.bias = vec![100.0, 0.0, 0.0, 0.0];
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(3);
         for _ in 0..20 {
             let x: Vec<f32> =
                 (0..8).map(|_| WeightDist::Gaussian { std: 1.0 }.sample(&mut rng)).collect();

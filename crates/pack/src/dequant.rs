@@ -97,8 +97,8 @@ pub fn naive_dequant_word(word: u32, scale: f32, zero: f32) -> [F16; 8] {
 mod tests {
     use super::*;
     use crate::layout::pack_group;
-    use rand::Rng;
-    use rand::SeedableRng;
+    use milo_tensor::rng::Rng;
+    use milo_tensor::rng::SeedableRng;
 
     fn word_with(codes8: [u8; 8]) -> u32 {
         let mut group = [0u8; 32];
@@ -120,7 +120,7 @@ mod tests {
 
     #[test]
     fn asymmetric_path_matches_naive_within_half_ulp() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(7);
         for _ in 0..100 {
             let mut codes = [0u8; 8];
             for c in &mut codes {

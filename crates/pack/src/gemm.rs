@@ -230,10 +230,10 @@ mod tests {
     use super::*;
     use milo_quant::{rtn_quantize, QuantConfig};
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn setup(batch: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix, PackedMatrix) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(n, k, &mut rng);
         let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(batch, k, &mut rng);
         let q = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();
@@ -294,7 +294,7 @@ mod tests {
     #[test]
     fn group_size_other_than_64_rejected() {
         use milo_quant::Scheme;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(5);
         let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(128, 128, &mut rng);
         let cfg = QuantConfig::new(3, 32, Scheme::Asymmetric).unwrap();
         let q = rtn_quantize(&w, &cfg).unwrap();
@@ -332,7 +332,7 @@ mod tests {
 
     #[test]
     fn symmetric_weights_also_work() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(9);
         let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(128, 128, &mut rng);
         let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(2, 128, &mut rng);
         let q = rtn_quantize(&w, &QuantConfig::int3_sym()).unwrap();

@@ -193,11 +193,11 @@ pub fn zero_waste_bytes(n: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
-    use rand::SeedableRng;
+    use milo_tensor::rng::Rng;
+    use milo_tensor::rng::SeedableRng;
 
     fn random_codes(seed: u64) -> [u8; GROUP] {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         let mut c = [0u8; GROUP];
         for v in &mut c {
             *v = rng.gen_range(0..8);

@@ -53,11 +53,11 @@ pub fn int4_bytes(n: usize) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use milo_tensor::rng::{Rng, SeedableRng};
 
     #[test]
     fn pack_unpack_round_trip() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(3);
         for _ in 0..100 {
             let mut codes = [0u8; PER_WORD];
             for c in &mut codes {

@@ -58,9 +58,9 @@ pub trait PackedWeight {
 /// use milo_pack::PackedMatrix;
 /// use milo_quant::{rtn_quantize, QuantConfig};
 /// use milo_tensor::{rng::WeightDist, stats};
-/// use rand::SeedableRng;
+/// use milo_tensor::rng::SeedableRng;
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+/// let mut rng = milo_tensor::rng::StdRng::seed_from_u64(2);
 /// let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(4, 64, &mut rng);
 /// let q = rtn_quantize(&w, &QuantConfig::int3_asym())?;
 /// let packed = PackedMatrix::pack(&q).expect("3-bit, 64-wide: packable");
@@ -262,10 +262,10 @@ mod tests {
     use super::*;
     use milo_quant::{rtn_quantize, QuantConfig};
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn quantized(rows: usize, cols: usize, cfg: QuantConfig, seed: u64) -> QuantizedMatrix {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(rows, cols, &mut rng);
         rtn_quantize(&w, &cfg).unwrap()
     }

@@ -155,10 +155,10 @@ mod tests {
     use crate::GemmKernel;
     use milo_quant::{rtn_quantize, QuantConfig};
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn quantized(rows: usize, cols: usize, seed: u64) -> QuantizedMatrix {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(rows, cols, &mut rng);
         rtn_quantize(&w, &QuantConfig::int4_asym()).unwrap()
     }
@@ -192,7 +192,7 @@ mod tests {
 
     #[test]
     fn int3_is_rejected() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(3);
         let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(2, 64, &mut rng);
         let q = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();
         assert!(matches!(Packed4Matrix::pack(&q), Err(PackError::Unsupported(_))));
@@ -202,7 +202,7 @@ mod tests {
     fn fused_gemm_meets_correctness_criterion() {
         let q = quantized(128, 128, 4);
         let p = Packed4Matrix::pack(&q).unwrap();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(5);
         let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(4, 128, &mut rng);
         let out = GemmKernel::default().gemm(&x, &p).unwrap();
         let reference = reference_gemm(&x, &q.dequantize());
@@ -211,7 +211,7 @@ mod tests {
 
     #[test]
     fn int4_memory_is_four_thirds_of_int3() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(6);
         let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(64, 256, &mut rng);
         let q4 = rtn_quantize(&w, &QuantConfig::int4_asym()).unwrap();
         let q3 = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();

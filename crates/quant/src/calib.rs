@@ -9,8 +9,8 @@
 
 use milo_tensor::rng::{standard_normal, WeightDist};
 use milo_tensor::Matrix;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use milo_tensor::rng::StdRng;
+use milo_tensor::rng::SeedableRng;
 
 /// A description of how calibration activations are distributed.
 #[derive(Debug, Clone, Copy, PartialEq)]

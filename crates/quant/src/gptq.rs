@@ -133,10 +133,10 @@ pub fn gptq_quantize(
 mod tests {
     use super::*;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
-    fn rng(seed: u64) -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> milo_tensor::rng::StdRng {
+        milo_tensor::rng::StdRng::seed_from_u64(seed)
     }
 
     fn weight(rows: usize, cols: usize, seed: u64) -> Matrix {

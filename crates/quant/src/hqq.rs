@@ -144,10 +144,10 @@ pub fn hqq_quantize(w: &Matrix, cfg: &QuantConfig, opts: &HqqOptions) -> Result<
 mod tests {
     use super::*;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn heavy_tailed(rows: usize, cols: usize, seed: u64) -> Matrix {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         WeightDist::StudentT { dof: 5.0, scale: 0.05 }.sample_matrix(rows, cols, &mut rng)
     }
 

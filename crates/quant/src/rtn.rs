@@ -71,10 +71,10 @@ pub fn rtn_quantize(w: &Matrix, cfg: &QuantConfig) -> Result<QuantizedMatrix> {
 mod tests {
     use super::*;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         WeightDist::Gaussian { std: 0.1 }.sample_matrix(rows, cols, &mut rng)
     }
 

@@ -67,11 +67,11 @@ mod tests {
     use super::*;
     use crate::rtn_quantize;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
     use std::io::Cursor;
 
     fn sample(cfg: QuantConfig, seed: u64) -> QuantizedMatrix {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
         let w = WeightDist::Gaussian { std: 0.1 }.sample_matrix(8, 64, &mut rng);
         rtn_quantize(&w, &cfg).unwrap()
     }

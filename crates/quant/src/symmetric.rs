@@ -34,7 +34,7 @@ pub fn symmetric_quantize(w: &Matrix, cfg: &QuantConfig) -> Result<QuantizedMatr
 mod tests {
     use super::*;
     use milo_tensor::rng::WeightDist;
-    use rand::SeedableRng;
+    use milo_tensor::rng::SeedableRng;
 
     #[test]
     fn eq15_codes_for_known_values() {
@@ -62,7 +62,7 @@ mod tests {
 
     #[test]
     fn error_bounded_by_half_step() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(1);
         let w = WeightDist::Gaussian { std: 0.3 }.sample_matrix(8, 64, &mut rng);
         let cfg = QuantConfig::int3_sym();
         let q = symmetric_quantize(&w, &cfg).unwrap();
@@ -84,7 +84,7 @@ mod tests {
 
     #[test]
     fn int8_uses_more_memory_than_int3() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(2);
         let w = WeightDist::Gaussian { std: 0.1 }.sample_matrix(64, 64, &mut rng);
         let q3 = symmetric_quantize(&w, &QuantConfig::int3_sym()).unwrap();
         let q8 =
@@ -98,7 +98,7 @@ mod tests {
 
     #[test]
     fn int8_is_more_accurate_than_int3() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = milo_tensor::rng::StdRng::seed_from_u64(3);
         let w = WeightDist::Gaussian { std: 0.1 }.sample_matrix(32, 64, &mut rng);
         let e3 = w
             .sub(&symmetric_quantize(&w, &QuantConfig::int3_sym()).unwrap().dequantize())

@@ -10,10 +10,15 @@
 //!   The MiLo kernel's binary-manipulation dequantization (paper §3.3)
 //!   manipulates half-precision *bit patterns*, so a faithful reproduction
 //!   needs access to the representation, not just the arithmetic.
+//! * [`prng`] — a vendored seeded PRNG (SplitMix64 + xoshiro256++) with
+//!   `Rng`/`SeedableRng` traits, so the workspace needs no external `rand`
+//!   crate and builds fully offline.
 //! * [`rng`] — seeded samplers for the weight distributions the paper's
 //!   analysis relies on (Gaussian, Student-t, uniform), so synthetic models
 //!   can match the kurtosis profile of Mixtral-8×7B and DeepSeek-MoE
 //!   (paper Table 2).
+//! * [`proptest`] — a minimal property-testing harness (seeded generation
+//!   plus input shrinking) replacing the external `proptest` crate.
 //! * [`stats`] — kurtosis, Frobenius norms, and the residual-rank measure
 //!   from paper Table 2.
 //! * [`linalg`] — Householder QR, one-sided Jacobi SVD, randomized
@@ -27,6 +32,8 @@ pub mod half;
 pub mod io;
 pub mod linalg;
 pub mod matrix;
+pub mod prng;
+pub mod proptest;
 pub mod rng;
 pub mod stats;
 

@@ -99,10 +99,10 @@ pub fn cholesky_inverse(l: &Matrix) -> Result<Matrix> {
 mod tests {
     use super::*;
     use crate::rng::WeightDist;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
 
     fn spd(n: usize, seed: u64) -> Matrix {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = crate::rng::StdRng::seed_from_u64(seed);
         let b = WeightDist::Gaussian { std: 1.0 }.sample_matrix(n, n, &mut rng);
         // B·Bᵗ + n·I is symmetric positive definite.
         let mut a = b.matmul(&b.transpose()).unwrap();

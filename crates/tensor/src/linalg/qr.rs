@@ -99,7 +99,7 @@ pub fn thin_qr(a: &Matrix) -> Result<(Matrix, Matrix)> {
 mod tests {
     use super::*;
     use crate::rng::WeightDist;
-    use rand::SeedableRng;
+    use crate::rng::SeedableRng;
 
     fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
         assert_eq!(a.shape(), b.shape());
@@ -110,7 +110,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_input() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = crate::rng::StdRng::seed_from_u64(1);
         let a = WeightDist::Gaussian { std: 1.0 }.sample_matrix(20, 8, &mut rng);
         let (q, r) = thin_qr(&a).unwrap();
         assert_close(&q.matmul(&r).unwrap(), &a, 1e-4);
@@ -118,7 +118,7 @@ mod tests {
 
     #[test]
     fn q_has_orthonormal_columns() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = crate::rng::StdRng::seed_from_u64(2);
         let a = WeightDist::Gaussian { std: 1.0 }.sample_matrix(30, 10, &mut rng);
         let (q, _) = thin_qr(&a).unwrap();
         let qtq = q.transpose().matmul(&q).unwrap();
@@ -127,7 +127,7 @@ mod tests {
 
     #[test]
     fn r_is_upper_triangular() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = crate::rng::StdRng::seed_from_u64(3);
         let a = WeightDist::Gaussian { std: 1.0 }.sample_matrix(12, 6, &mut rng);
         let (_, r) = thin_qr(&a).unwrap();
         for i in 0..6 {

@@ -16,8 +16,8 @@
 use crate::linalg::qr::thin_qr;
 use crate::rng::standard_normal;
 use crate::{Matrix, Result, TensorError};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use crate::rng::StdRng;
+use crate::rng::SeedableRng;
 
 /// The result of a singular value decomposition `A = U · diag(σ) · Vᵗ`.
 #[derive(Debug, Clone)]

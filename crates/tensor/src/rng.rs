@@ -13,21 +13,22 @@
 //! * uniform sampling (excess kurtosis −1.2) for light-tailed expert-like
 //!   weights,
 //!
-//! all driven by any [`rand::Rng`], so every experiment is reproducible
-//! from a seed.
+//! all driven by any [`Rng`] (usually the vendored [`Xoshiro256pp`]), so
+//! every experiment is reproducible from a seed with no external crates.
 
 use crate::Matrix;
-use rand::Rng;
+pub use crate::prng::{
+    Rng, RngCore, SampleRange, SampleStandard, SeedableRng, SplitMix64, StdRng, Xoshiro256pp,
+};
 
 /// A weight distribution with a chosen tail shape.
 ///
 /// # Examples
 ///
 /// ```
-/// use milo_tensor::rng::WeightDist;
-/// use rand::SeedableRng;
+/// use milo_tensor::rng::{SeedableRng, WeightDist, Xoshiro256pp};
 ///
-/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let mut rng = Xoshiro256pp::seed_from_u64(7);
 /// let w = WeightDist::StudentT { dof: 5.0, scale: 0.02 }.sample_matrix(64, 64, &mut rng);
 /// assert_eq!(w.shape(), (64, 64));
 /// ```
@@ -142,10 +143,9 @@ fn gamma_sample(shape: f64, rng: &mut impl Rng) -> f64 {
 mod tests {
     use super::*;
     use crate::stats;
-    use rand::SeedableRng;
 
-    fn rng() -> rand::rngs::StdRng {
-        rand::rngs::StdRng::seed_from_u64(42)
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(42)
     }
 
     #[test]
@@ -208,6 +208,72 @@ mod tests {
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
         assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_matrices() {
+        let d = WeightDist::Gaussian { std: 1.0 };
+        let a = d.sample_matrix(8, 8, &mut Xoshiro256pp::seed_from_u64(1));
+        let b = d.sample_matrix(8, 8, &mut Xoshiro256pp::seed_from_u64(2));
+        assert_ne!(a, b, "distinct seeds must give distinct weight streams");
+    }
+
+    #[test]
+    fn gaussian_moments_match_std() {
+        // Table 2 regime: synthetic weights must realize the documented
+        // mean/variance so kurtosis-driven rank policies see honest stats.
+        let mut r = rng();
+        let std = 0.05f32;
+        let d = WeightDist::Gaussian { std };
+        let xs: Vec<f32> = (0..200_000).map(|_| d.sample(&mut r)).collect();
+        assert!(stats::mean(&xs).abs() < 1e-3, "mean {}", stats::mean(&xs));
+        let var = stats::variance(&xs);
+        assert!((var - std * std).abs() < 0.05 * std * std, "var {var}");
+        assert!(stats::excess_kurtosis(&xs).abs() < 0.1);
+    }
+
+    #[test]
+    fn student_t_moments_in_table2_regime() {
+        // dof = 6: variance dof/(dof-2) = 1.5 per unit scale, excess
+        // kurtosis 6/(dof-4) = 3.
+        let mut r = rng();
+        let d = WeightDist::StudentT { dof: 6.0, scale: 0.02 };
+        let xs: Vec<f32> = (0..400_000).map(|_| d.sample(&mut r)).collect();
+        assert!(stats::mean(&xs).abs() < 2e-4, "mean {}", stats::mean(&xs));
+        let var = stats::variance(&xs);
+        let expected = 0.02f32 * 0.02 * 1.5;
+        assert!((var - expected).abs() < 0.2 * expected, "var {var} vs {expected}");
+        let k = stats::excess_kurtosis(&xs);
+        assert!(k > 1.0, "heavy tail lost: kurtosis {k}");
+    }
+
+    #[test]
+    fn uniform_moments_match_bound() {
+        // Variance of U(-b, b) is b²/3; excess kurtosis −1.2.
+        let mut r = rng();
+        let d = WeightDist::Uniform { bound: 0.08 };
+        let xs: Vec<f32> = (0..200_000).map(|_| d.sample(&mut r)).collect();
+        assert!(stats::mean(&xs).abs() < 1e-3);
+        let var = stats::variance(&xs);
+        let expected = 0.08f32 * 0.08 / 3.0;
+        assert!((var - expected).abs() < 0.05 * expected, "var {var} vs {expected}");
+        assert!(stats::excess_kurtosis(&xs) < -1.0);
+    }
+
+    #[test]
+    fn kurtosis_ordering_matches_table2() {
+        // The paper's Table 2 ordering: attention-like Student-t weights
+        // are heavier-tailed than Gaussian, which is heavier than uniform
+        // expert-like weights.
+        let mut r = rng();
+        let sample = |d: WeightDist, r: &mut Xoshiro256pp| -> f32 {
+            let xs: Vec<f32> = (0..100_000).map(|_| d.sample(r)).collect();
+            stats::excess_kurtosis(&xs)
+        };
+        let kt = sample(WeightDist::StudentT { dof: 5.0, scale: 0.05 }, &mut r);
+        let kg = sample(WeightDist::Gaussian { std: 0.05 }, &mut r);
+        let ku = sample(WeightDist::Uniform { bound: 0.08 }, &mut r);
+        assert!(kt > kg && kg > ku, "ordering violated: t={kt} g={kg} u={ku}");
     }
 
     #[test]

@@ -11,12 +11,12 @@ use milo::pack::gemm::{reference_gemm, relative_error};
 use milo::quant::{hqq_quantize, HqqOptions, QuantConfig};
 use milo::tensor::rng::WeightDist;
 use milo::tensor::stats;
-use rand::SeedableRng;
+use milo_tensor::rng::SeedableRng;
 
 fn main() {
     // A heavy-tailed "attention-like" weight matrix — the kind that
     // suffers most under 3-bit quantization.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = milo_tensor::rng::StdRng::seed_from_u64(42);
     let w = WeightDist::StudentT { dof: 6.0, scale: 0.06 }.sample_matrix(256, 256, &mut rng);
 
     // Plain calibration-free HQQ at INT3, group size 64.

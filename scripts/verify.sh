@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the hermetic, zero-external-dependency workspace.
+#
+# 1. Guards against dependency regressions: every `[dependencies]` /
+#    `[dev-dependencies]` / `[build-dependencies]` entry in every
+#    Cargo.toml must name a `milo-*` workspace crate. The workspace must
+#    build on a clean machine with no network and no crates-io mirror.
+# 2. Builds and tests fully offline.
+#
+# Usage: scripts/verify.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. Dependency guard -------------------------------------------------
+# Walk each manifest; inside dependency sections, flag any dependency key
+# that is not a milo-* crate. Keys are the first token of `name = ...` or
+# `name.workspace = ...` lines.
+while IFS= read -r manifest; do
+    bad=$(awk '
+        # Table-header form: [dependencies.foo] / [dev-dependencies."foo"]
+        /^\[(workspace\.)?(dev-|build-)?dependencies\./ {
+            name = $0
+            sub(/^\[(workspace\.)?(dev-|build-)?dependencies\./, "", name)
+            sub(/\].*$/, "", name)
+            gsub(/"/, "", name)
+            if (name !~ /^milo-/) print FILENAME ": " name
+            in_deps = 0
+            next
+        }
+        /^\[/ {
+            in_deps = ($0 ~ /^\[(workspace\.)?(dev-|build-)?dependencies\]/)
+            next
+        }
+        # Inline form: foo = "1" / foo.workspace = true inside a deps section
+        in_deps && /^[A-Za-z0-9_-]+(\.workspace)?[[:space:]]*=/ {
+            split($0, parts, /[.=[:space:]]/)
+            if (parts[1] !~ /^milo-/) print FILENAME ": " parts[1]
+        }
+    ' "$manifest")
+    if [ -n "$bad" ]; then
+        echo "ERROR: non-workspace dependency found (the workspace must stay hermetic):"
+        echo "$bad"
+        fail=1
+    fi
+done < <(find . -name Cargo.toml -not -path "./target/*")
+
+if [ "$fail" -ne 0 ]; then
+    echo "Dependency guard failed. Vendor the functionality instead of adding a crate."
+    exit 1
+fi
+echo "ok: all Cargo.toml dependencies are milo-* workspace crates"
+
+# --- 2. Offline build + test --------------------------------------------
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+echo "ok: offline release build and test suite passed"

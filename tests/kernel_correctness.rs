@@ -16,13 +16,13 @@ use milo::pack::{GemmKernel, PackError, PackedMatrix, TileShape};
 use milo::quant::{rtn_quantize, QuantConfig, Scheme};
 use milo::tensor::rng::WeightDist;
 use milo::tensor::Matrix;
-use rand::SeedableRng;
+use milo_tensor::rng::SeedableRng;
 
 /// The Appendix D criterion.
 const CRITERION: f32 = 0.005;
 
 fn packed(n: usize, k: usize, seed: u64, scheme: Scheme) -> (Matrix, PackedMatrix) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed);
     let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(n, k, &mut rng);
     let cfg = QuantConfig::new(3, 64, scheme).expect("valid config");
     let q = rtn_quantize(&w, &cfg).expect("quantize");
@@ -30,7 +30,7 @@ fn packed(n: usize, k: usize, seed: u64, scheme: Scheme) -> (Matrix, PackedMatri
 }
 
 fn activations(batch: usize, k: usize, seed: u64) -> Matrix {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xac71);
+    let mut rng = milo_tensor::rng::StdRng::seed_from_u64(seed ^ 0xac71);
     WeightDist::Gaussian { std: 1.0 }.sample_matrix(batch, k, &mut rng)
 }
 
@@ -103,7 +103,7 @@ fn functional_large_batch_1024() {
 #[test]
 fn error_handling_group_size_must_be_64() {
     // Appendix D rule 1.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut rng = milo_tensor::rng::StdRng::seed_from_u64(1);
     let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(128, 128, &mut rng);
     let cfg = QuantConfig::new(3, 32, Scheme::Asymmetric).unwrap();
     let q = rtn_quantize(&w, &cfg).unwrap();

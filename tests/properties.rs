@@ -1,4 +1,6 @@
-//! Property-based tests on cross-crate invariants.
+//! Property-based tests on cross-crate invariants, driven by the
+//! in-repo `milo_tensor::proptest` mini-harness (seeded generation plus
+//! shrinking; no external crates).
 
 use milo::core::{milo_compress, LowRankCompensator, MiloOptions};
 use milo::pack::gemm::{reference_gemm, relative_error};
@@ -6,60 +8,90 @@ use milo::pack::{pack_group, unpack_group, GemmKernel, PackedMatrix};
 use milo::quant::{hqq_quantize, rtn_quantize, HqqOptions, QuantConfig, Scheme};
 use milo::tensor::linalg::jacobi_svd;
 use milo::tensor::Matrix;
-use proptest::prelude::*;
+use milo_tensor::proptest::{check, uniform_f32, uniform_u8, vec_of, Config};
+use milo_tensor::{prop_assert, prop_assert_eq, prop_assume};
 
-fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-1.0f32..1.0, rows * cols)
-        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+/// 64-case config matching the original `ProptestConfig::with_cases(64)`.
+fn cases64() -> Config {
+    Config::with_cases(64)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// Strategy for the raw data of a `rows × cols` matrix with entries in
+/// `[-1, 1)`; the matrix itself is built inside the property body.
+fn small_matrix(rows: usize, cols: usize) -> impl milo_tensor::proptest::Strategy<Value = Vec<f32>>
+{
+    vec_of(uniform_f32(-1.0, 1.0), rows * cols)
+}
 
-    #[test]
-    fn pack_unpack_identity(codes in prop::collection::vec(0u8..8, 32)) {
+#[test]
+fn pack_unpack_identity() {
+    check(&cases64(), &vec_of(uniform_u8(0, 8), 32), |codes| {
         let mut arr = [0u8; 32];
-        arr.copy_from_slice(&codes);
+        arr.copy_from_slice(codes);
         prop_assert_eq!(unpack_group(&pack_group(&arr)), arr);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rtn_error_bounded_by_half_step(w in small_matrix(4, 64)) {
+#[test]
+fn rtn_error_bounded_by_half_step() {
+    check(&cases64(), &small_matrix(4, 64), |data| {
+        let w = Matrix::from_vec(4, 64, data.clone());
         let cfg = QuantConfig::int3_asym();
         let q = rtn_quantize(&w, &cfg).unwrap();
         let dq = q.dequantize();
         for (i, (&a, &b)) in w.as_slice().iter().zip(dq.as_slice()).enumerate() {
             let s = q.scales()[i / 64];
-            prop_assert!((a - b).abs() <= 0.5 * s + 1e-5,
-                "element {}: {} vs {} (step {})", i, a, b, s);
+            prop_assert!(
+                (a - b).abs() <= 0.5 * s + 1e-5,
+                "element {}: {} vs {} (step {})",
+                i,
+                a,
+                b,
+                s
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn hqq_never_worse_than_rtn_by_much(w in small_matrix(8, 64)) {
+#[test]
+fn hqq_never_worse_than_rtn_by_much() {
+    check(&cases64(), &small_matrix(8, 64), |data| {
         // HQQ optimizes an lp<1 objective, but its l2 error should stay
         // in the same ballpark as RTN's (it starts from the RTN grid).
+        let w = Matrix::from_vec(8, 64, data.clone());
         let cfg = QuantConfig::int3_asym();
-        let e_rtn = w.sub(&rtn_quantize(&w, &cfg).unwrap().dequantize())
-            .unwrap().frobenius_norm();
-        let e_hqq = w.sub(&hqq_quantize(&w, &cfg, &HqqOptions::default()).unwrap().dequantize())
-            .unwrap().frobenius_norm();
+        let e_rtn =
+            w.sub(&rtn_quantize(&w, &cfg).unwrap().dequantize()).unwrap().frobenius_norm();
+        let e_hqq = w
+            .sub(&hqq_quantize(&w, &cfg, &HqqOptions::default()).unwrap().dequantize())
+            .unwrap()
+            .frobenius_norm();
         prop_assert!(e_hqq <= e_rtn * 1.25 + 1e-6, "hqq {} vs rtn {}", e_hqq, e_rtn);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn compensator_never_increases_residual(w in small_matrix(24, 24)) {
+#[test]
+fn compensator_never_increases_residual() {
+    check(&cases64(), &small_matrix(24, 24), |data| {
         // Fitting a rank-r compensator to a residual can only shrink its
         // Frobenius norm (Eckart-Young).
+        let w = Matrix::from_vec(24, 24, data.clone());
         let norm = w.frobenius_norm();
         prop_assume!(norm > 1e-3);
         let c = LowRankCompensator::fit(&w, 4, 0).unwrap();
         let after = w.sub(&c.to_dense()).unwrap().frobenius_norm();
         prop_assert!(after <= norm * 1.0001, "{} -> {}", norm, after);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn milo_effective_weight_beats_plain_quant(w in small_matrix(32, 64)) {
+#[test]
+fn milo_effective_weight_beats_plain_quant() {
+    check(&cases64(), &small_matrix(32, 64), |data| {
+        let w = Matrix::from_vec(32, 64, data.clone());
         prop_assume!(w.frobenius_norm() > 1e-2);
         let opts = MiloOptions { max_iters: 2, compensator_cfg: None, ..MiloOptions::default() };
         let plain = milo_compress(&w, 0, &opts).unwrap();
@@ -67,13 +99,15 @@ proptest! {
         let e_plain = w.sub(&plain.effective_weight()).unwrap().frobenius_norm();
         let e_comp = w.sub(&comp.effective_weight()).unwrap().frobenius_norm();
         prop_assert!(e_comp <= e_plain + 1e-6, "comp {} vs plain {}", e_comp, e_plain);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn packed_gemm_is_linear_in_activations(
-        w in small_matrix(64, 64),
-        alpha in 0.1f32..4.0,
-    ) {
+#[test]
+fn packed_gemm_is_linear_in_activations() {
+    let strat = (small_matrix(64, 64), uniform_f32(0.1, 4.0));
+    check(&cases64(), &strat, |(data, alpha)| {
+        let w = Matrix::from_vec(64, 64, data.clone());
         let q = rtn_quantize(&w.scale(0.05), &QuantConfig::int3_asym()).unwrap();
         let packed = PackedMatrix::pack(&q).unwrap();
         let kernel = GemmKernel { tile: milo::pack::TileShape::T64x256 };
@@ -83,38 +117,51 @@ proptest! {
         let x = Matrix::filled(1, 64, 1.0);
         let dense = packed.dequantize();
         let y1 = reference_gemm(&x, &dense);
-        let y2 = reference_gemm(&x.scale(alpha), &dense);
+        let y2 = reference_gemm(&x.scale(*alpha), &dense);
         for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
-            prop_assert!((a * alpha - b).abs() <= 1e-3 * (1.0 + b.abs()),
-                "{} vs {}", a * alpha, b);
+            prop_assert!(
+                (a * alpha - b).abs() <= 1e-3 * (1.0 + b.abs()),
+                "{} vs {}",
+                a * alpha,
+                b
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn svd_singular_values_sorted_nonnegative(w in small_matrix(12, 10)) {
+#[test]
+fn svd_singular_values_sorted_nonnegative() {
+    check(&cases64(), &small_matrix(12, 10), |data| {
+        let w = Matrix::from_vec(12, 10, data.clone());
         let svd = jacobi_svd(&w).unwrap();
         for pair in svd.sigma.windows(2) {
             prop_assert!(pair[0] >= pair[1] - 1e-6);
         }
         prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn symmetric_quant_codes_centered(w in small_matrix(2, 64)) {
+#[test]
+fn symmetric_quant_codes_centered() {
+    check(&cases64(), &small_matrix(2, 64), |data| {
+        let w = Matrix::from_vec(2, 64, data.clone());
         let cfg = QuantConfig::new(3, 64, Scheme::Symmetric).unwrap();
         let q = rtn_quantize(&w, &cfg).unwrap();
         // Codes live in [0, 7]; the implicit zero-point is 4, so a zero
         // weight always maps to code 4.
         prop_assert!(q.codes().iter().all(|&c| c <= 7));
-    }
+        Ok(())
+    });
 }
 
 #[test]
 fn packed_gemm_matches_reference_on_random_weights() {
-    // A deterministic heavier check complementing the proptest cases.
+    // A deterministic heavier check complementing the property cases.
     use milo::tensor::rng::WeightDist;
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    use milo_tensor::rng::SeedableRng;
+    let mut rng = milo_tensor::rng::StdRng::seed_from_u64(99);
     for _ in 0..3 {
         let w = WeightDist::Gaussian { std: 0.05 }.sample_matrix(128, 128, &mut rng);
         let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(8, 128, &mut rng);
