@@ -1,14 +1,23 @@
 //! Microbenchmarks of the fused packed GEMM against the unfused
-//! two-pass pipeline and the FP32 reference, across tile shapes and
-//! batch sizes.
+//! two-pass pipeline and the FP32 reference, across tile shapes, batch
+//! sizes, and — since the threading PR — a `threads` axis swept with
+//! `milo_tensor::pool::with_threads`.
+//!
+//! Besides the usual `gemm` suite (JSON via `MILO_BENCH_JSON`), this
+//! bench records the repo's first performance baseline at
+//! `results/BENCH_gemm_threads.json`: the fused 256×256 kernel at
+//! batch 16 for 1/2/4 threads, and the batch-1 padded-row fix measured
+//! against a faithful replica of the pre-fix kernel. Override the output
+//! path with `MILO_BENCH_BASELINE` (empty string disables).
 
-use milo_eval::bench::{black_box, Harness};
-use milo_pack::gemm::reference_gemm;
-use milo_pack::{GemmKernel, PackedMatrix, TileShape};
+use milo_eval::bench::{black_box, BenchResult, Config, Harness};
+use milo_pack::gemm::{reference_gemm, BATCH_GRANULE};
+use milo_pack::{GemmKernel, PackedMatrix, PackedWeight, TileShape};
 use milo_quant::{rtn_quantize, QuantConfig};
+use milo_tensor::pool;
 use milo_tensor::rng::SeedableRng;
 use milo_tensor::rng::WeightDist;
-use milo_tensor::Matrix;
+use milo_tensor::{F16, Matrix};
 
 fn setup(batch: usize, k: usize, n: usize) -> (Matrix, Matrix, PackedMatrix) {
     let mut rng = milo_tensor::rng::StdRng::seed_from_u64(7);
@@ -16,6 +25,49 @@ fn setup(batch: usize, k: usize, n: usize) -> (Matrix, Matrix, PackedMatrix) {
     let x = WeightDist::Gaussian { std: 1.0 }.sample_matrix(batch, k, &mut rng);
     let q = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();
     (x, q.dequantize(), PackedMatrix::pack(&q).unwrap())
+}
+
+/// A faithful replica of the pre-fix fused kernel: batch-major
+/// accumulator, by-value `[F16; 32]` dequant round-trip, and — the bug
+/// the padded-row fix removed — the MAC loop running over every *padded*
+/// batch row, 16× wasted multiplies at batch 1. Kept here so the fix
+/// stays measurable against a recorded baseline.
+fn legacy_padded_rows_gemm(tile: TileShape, x: &Matrix, w: &impl PackedWeight) -> Matrix {
+    let batch = x.rows();
+    let (k, n) = (w.cols(), w.rows());
+    let (tile_k, tile_n) = tile.dims();
+    let padded_batch = batch.div_ceil(BATCH_GRANULE) * BATCH_GRANULE;
+    let mut x16 = vec![F16::ZERO; padded_batch * k];
+    for b in 0..batch {
+        for (j, &v) in x.row(b).iter().enumerate() {
+            x16[b * k + j] = F16::from_f32(v);
+        }
+    }
+    let mut acc = vec![0.0f32; padded_batch * n];
+    let mut wtile = vec![F16::ZERO; tile_k];
+    for n0 in (0..n).step_by(tile_n) {
+        for k0 in (0..k).step_by(tile_k) {
+            for o in n0..n0 + tile_n {
+                for (gi, g) in ((k0 / 32)..((k0 + tile_k) / 32)).enumerate() {
+                    let vals = w.dequant_group32(o, g);
+                    wtile[gi * 32..gi * 32 + 32].copy_from_slice(&vals);
+                }
+                for b in 0..padded_batch {
+                    let xrow = &x16[b * k + k0..b * k + k0 + tile_k];
+                    let mut sum = 0.0f32;
+                    for (xv, wv) in xrow.iter().zip(&wtile) {
+                        sum += xv.to_f32() * wv.to_f32();
+                    }
+                    acc[b * n + o] += sum;
+                }
+            }
+        }
+    }
+    let mut out = Matrix::zeros(batch, n);
+    for b in 0..batch {
+        out.row_mut(b).copy_from_slice(&acc[b * n..b * n + n]);
+    }
+    out
 }
 
 fn bench_fused_vs_unfused(c: &mut Harness) {
@@ -44,9 +96,83 @@ fn bench_tile_shapes(c: &mut Harness) {
     }
 }
 
+/// The recorded baseline suite: fused GEMM across the `threads` axis and
+/// the batch-1 padded-row fix vs the legacy kernel.
+fn bench_threads_baseline(c: &mut Harness) {
+    let kernel = GemmKernel::default();
+
+    let (x16, _, packed16) = setup(16, 256, 256);
+    for threads in [1usize, 2, 4] {
+        c.bench_function(format!("fused_256x256/bs16/threads{threads}"), |b| {
+            pool::with_threads(threads, || {
+                b.iter(|| kernel.gemm(black_box(&x16), black_box(&packed16)).unwrap())
+            })
+        });
+    }
+
+    let (x1, _, packed1) = setup(1, 256, 256);
+    c.bench_function("fused_256x256/bs1/threads1_fixed", |b| {
+        pool::with_threads(1, || {
+            b.iter(|| kernel.gemm(black_box(&x1), black_box(&packed1)).unwrap())
+        })
+    });
+    c.bench_function("fused_256x256/bs1/legacy_padded_rows", |b| {
+        b.iter(|| legacy_padded_rows_gemm(kernel.tile, black_box(&x1), black_box(&packed1)))
+    });
+}
+
+fn median_of<'a>(results: &'a [BenchResult], name: &str) -> Option<f64> {
+    results.iter().find(|r| r.name == name).map(|r| r.median_ns)
+}
+
+/// Writes the recorded baseline JSON: harness rows plus host metadata and
+/// the two headline speedups later PRs are measured against.
+fn write_baseline(results: &[BenchResult], harness_json: &str) {
+    let path = match std::env::var("MILO_BENCH_BASELINE") {
+        Ok(p) if p.is_empty() => return,
+        Ok(p) => std::path::PathBuf::from(p),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../results/BENCH_gemm_threads.json"),
+    };
+    let host_threads =
+        std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1);
+    let speedup = |a: &str, b: &str| -> f64 {
+        match (median_of(results, a), median_of(results, b)) {
+            (Some(num), Some(den)) if den > 0.0 => num / den,
+            _ => 0.0,
+        }
+    };
+    let t4_speedup =
+        speedup("fused_256x256/bs16/threads1", "fused_256x256/bs16/threads4");
+    let fix_speedup = speedup(
+        "fused_256x256/bs1/legacy_padded_rows",
+        "fused_256x256/bs1/threads1_fixed",
+    );
+    let json = format!(
+        "{{\"baseline\":{harness_json},\
+         \"host_threads\":{host_threads},\
+         \"quick\":{quick},\
+         \"shape\":{{\"k\":256,\"n\":256}},\
+         \"derived\":{{\
+           \"speedup_bs16_threads4_vs_threads1\":{t4_speedup:.3},\
+           \"speedup_bs1_padded_row_fix\":{fix_speedup:.3}}}}}",
+        quick = Config::quick_mode(),
+    );
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
 fn main() {
     let mut h = Harness::new("gemm");
     bench_fused_vs_unfused(&mut h);
     bench_tile_shapes(&mut h);
     h.finish();
+
+    let mut base = Harness::new("BENCH_gemm_threads");
+    bench_threads_baseline(&mut base);
+    let json = base.to_json();
+    let results = base.finish();
+    write_baseline(&results, &json);
 }

@@ -1,7 +1,9 @@
-//! Microbenchmarks of the MoE substrate: forward pass and routing.
+//! Microbenchmarks of the MoE substrate: forward pass (including a
+//! `threads` axis over the expert-dispatch pool) and routing.
 
 use milo_eval::bench::{black_box, Harness};
 use milo_moe::{MoeConfig, MoeModel};
+use milo_tensor::pool;
 
 fn bench_forward(c: &mut Harness) {
     let mixtral = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 1);
@@ -13,6 +15,13 @@ fn bench_forward(c: &mut Harness) {
     c.bench_function("tiny_deepseek_forward_32_tokens", |b| {
         b.iter(|| deepseek.forward(black_box(&tokens)).unwrap())
     });
+    for threads in [1usize, 2, 4] {
+        c.bench_function(format!("tiny_mixtral_forward_32_tokens/threads{threads}"), |b| {
+            pool::with_threads(threads, || {
+                b.iter(|| mixtral.forward(black_box(&tokens)).unwrap())
+            })
+        });
+    }
 }
 
 fn bench_synthesis(c: &mut Harness) {

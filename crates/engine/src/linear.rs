@@ -24,10 +24,12 @@ enum Storage {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PackedLinear {
     storage: Storage,
-    /// `(U, Vᵀ... stored as (u: out×r, v: r×in))` compensator factors,
-    /// de-quantized once at build time (deployment keeps them INT3; the
-    /// memory accounting below uses the packed size).
-    comp: Option<(Matrix, Matrix)>,
+    /// Compensator factors stored *pre-transposed* as `(Vᵀ: in×r,
+    /// Uᵀ: r×out)`, de-quantized and transposed once at build time so the
+    /// per-token hot loop runs two plain row-major GEMMs with no
+    /// per-batch transpose (deployment keeps them INT3; the memory
+    /// accounting below uses the packed size).
+    comp_t: Option<(Matrix, Matrix)>,
     out_features: usize,
     in_features: usize,
     /// Deployment memory in bytes (packed weight + packed compensator).
@@ -69,11 +71,13 @@ impl PackedLinear {
             },
             _ => Storage::Dense(layer.qweight.dequantize().transpose()),
         };
-        let comp = layer.compensator.as_ref().map(|c| match c {
-            Compensator::Fp16(lr) => (lr.u().clone(), lr.v().clone()),
-            Compensator::Quantized(q) => (q.u().dequantize(), q.v().dequantize()),
+        let comp_t = layer.compensator.as_ref().map(|c| match c {
+            Compensator::Fp16(lr) => (lr.v().transpose(), lr.u().transpose()),
+            Compensator::Quantized(q) => {
+                (q.v().dequantize().transpose(), q.u().dequantize().transpose())
+            }
         });
-        Ok(Self { storage, comp, out_features, in_features, memory_bytes })
+        Ok(Self { storage, comp_t, out_features, in_features, memory_bytes })
     }
 
     /// Output features.
@@ -121,14 +125,15 @@ impl PackedLinear {
                 .matmul(wt)
                 .map_err(|e| EngineError::Run(format!("dense GEMM failed: {e}")))?,
         };
-        if let Some((u, v)) = &self.comp {
-            // Low-rank fast path: y += (x·Vᵀ)·Uᵀ — two skinny GEMMs, the
-            // U·V product is never materialized.
+        if let Some((vt, ut)) = &self.comp_t {
+            // Low-rank fast path: y += (x·Vᵀ)·Uᵀ — two skinny GEMMs on
+            // the factors transposed once at build time; the U·V product
+            // is never materialized.
             let xv = x
-                .matmul(&v.transpose())
+                .matmul(vt)
                 .map_err(|e| EngineError::Run(format!("compensator V failed: {e}")))?;
             let delta = xv
-                .matmul(&u.transpose())
+                .matmul(ut)
                 .map_err(|e| EngineError::Run(format!("compensator U failed: {e}")))?;
             y = y
                 .add(&delta)

@@ -8,7 +8,7 @@ use milo_moe::attention::{attend, rms_norm};
 use milo_moe::mlp::silu;
 use milo_moe::router::Router;
 use milo_moe::{FfnBlock, MoeModel};
-use milo_tensor::Matrix;
+use milo_tensor::{pool, Matrix};
 
 /// A SwiGLU block on packed projections.
 #[derive(Debug, Clone, PartialEq)]
@@ -222,6 +222,11 @@ impl PackedMoeModel {
     }
 
     /// Runs the FFN block of layer `li` on a batch of token rows.
+    ///
+    /// Expert forwards run concurrently on the [`milo_tensor::pool`]
+    /// (mirroring [`milo_moe::MoeBlock::forward_counting`]); the weighted
+    /// scatter-back stays serial in expert order so the output is
+    /// bit-identical across thread counts.
     pub(crate) fn ffn_forward(&self, li: usize, x: &Matrix) -> Result<Matrix> {
         match &self.layers[li].ffn {
             PackedFfn::Dense(mlp) => mlp.forward(x),
@@ -234,23 +239,31 @@ impl PackedMoeModel {
                         assignment[e].push((t, gate));
                     }
                 }
-                for (e, toks) in assignment.iter().enumerate() {
-                    if toks.is_empty() {
-                        continue;
-                    }
-                    let mut sub = Matrix::zeros(toks.len(), self.d_model);
-                    for (i, &(t, _)) in toks.iter().enumerate() {
-                        sub.row_mut(i).copy_from_slice(x.row(t));
-                    }
-                    let y = experts[e].forward(&sub)?;
-                    for (i, &(t, gate)) in toks.iter().enumerate() {
+                let expert_outputs: Vec<Option<Result<Matrix>>> =
+                    pool::par_map(experts.len(), |e| {
+                        let toks = &assignment[e];
+                        if toks.is_empty() {
+                            return None;
+                        }
+                        let mut sub = Matrix::zeros(toks.len(), self.d_model);
+                        for (i, &(t, _)) in toks.iter().enumerate() {
+                            sub.row_mut(i).copy_from_slice(x.row(t));
+                        }
+                        Some(experts[e].forward(&sub))
+                    });
+                for (e, maybe) in expert_outputs.into_iter().enumerate() {
+                    let Some(res) = maybe else { continue };
+                    let y = res?;
+                    for (i, &(t, gate)) in assignment[e].iter().enumerate() {
                         for (o, v) in out.row_mut(t).iter_mut().zip(y.row(i)) {
                             *o += gate * v;
                         }
                     }
                 }
-                for sh in shared {
-                    let y = sh.forward(x)?;
+                let shared_outputs: Vec<Result<Matrix>> =
+                    pool::par_map(shared.len(), |s| shared[s].forward(x));
+                for res in shared_outputs {
+                    let y = res?;
                     for t in 0..tokens_n {
                         for (o, v) in out.row_mut(t).iter_mut().zip(y.row(t)) {
                             *o += v;

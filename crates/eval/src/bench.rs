@@ -15,6 +15,10 @@
 //! * `MILO_BENCH_SAMPLE_MS` — target milliseconds per sample (default 25)
 //! * `MILO_BENCH_WARMUP_MS` — warmup milliseconds (default 50)
 //! * `MILO_BENCH_JSON` — directory to write `<suite>.json` into
+//! * `MILO_BENCH_QUICK` — set to `1`/`true` for the smoke configuration
+//!   ([`Config::quick`]); used by `scripts/verify.sh` to exercise the
+//!   bench path in seconds. Explicit `MILO_BENCH_*` knobs still apply on
+//!   top.
 //!
 //! # Examples
 //!
@@ -46,10 +50,16 @@ pub struct Config {
 
 impl Default for Config {
     fn default() -> Self {
+        let quick = Self::quick_mode();
+        let base = if quick { Self::quick() } else { Self::full() };
         Self {
-            samples: env_usize("MILO_BENCH_SAMPLES", 15),
-            sample_time: Duration::from_millis(env_usize("MILO_BENCH_SAMPLE_MS", 25) as u64),
-            warmup: Duration::from_millis(env_usize("MILO_BENCH_WARMUP_MS", 50) as u64),
+            samples: env_usize("MILO_BENCH_SAMPLES", base.samples),
+            sample_time: Duration::from_millis(
+                env_usize("MILO_BENCH_SAMPLE_MS", base.sample_time.as_millis() as usize) as u64,
+            ),
+            warmup: Duration::from_millis(
+                env_usize("MILO_BENCH_WARMUP_MS", base.warmup.as_millis() as usize) as u64,
+            ),
         }
     }
 }
@@ -62,6 +72,26 @@ impl Config {
             sample_time: Duration::from_millis(2),
             warmup: Duration::from_millis(1),
         }
+    }
+
+    /// The full measurement configuration ([`Config::default`] without
+    /// environment overrides).
+    pub fn full() -> Self {
+        Self {
+            samples: 15,
+            sample_time: Duration::from_millis(25),
+            warmup: Duration::from_millis(50),
+        }
+    }
+
+    /// Whether `MILO_BENCH_QUICK` requests the smoke configuration.
+    pub fn quick_mode() -> bool {
+        std::env::var("MILO_BENCH_QUICK")
+            .map(|v| {
+                let v = v.trim();
+                !v.is_empty() && v != "0" && !v.eq_ignore_ascii_case("false")
+            })
+            .unwrap_or(false)
     }
 }
 

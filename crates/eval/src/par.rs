@@ -1,33 +1,18 @@
 //! A tiny fork-join helper used to parallelize evaluation across
 //! sequences and prompts.
+//!
+//! Since the threading PR this is a thin façade over
+//! [`milo_tensor::pool`], so evaluation fan-out honours the same
+//! `MILO_THREADS` knob (and `pool::with_threads` override) as the
+//! compute kernels, and nested parallelism inside a worker (e.g. a
+//! model forward under an evaluated prompt) degrades to the serial path
+//! instead of oversubscribing.
 
-/// Maps `f` over `0..n` on up to `available_parallelism` threads,
-/// returning results in index order. `f` is called exactly once per
-/// index; work is split into contiguous chunks.
+/// Maps `f` over `0..n` on the workspace thread pool, returning results
+/// in index order. `f` is called exactly once per index; work is split
+/// into contiguous chunks with no work stealing.
 pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .min(n.max(1));
-    if threads <= 1 || n <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let chunk = n.div_ceil(threads);
-    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let f = &f;
-                scope.spawn(move || {
-                    (t * chunk..n.min((t + 1) * chunk)).map(f).collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("evaluation worker panicked"))
-            .collect()
-    });
-    chunks.into_iter().flatten().collect()
+    milo_tensor::pool::par_map(n, f)
 }
 
 #[cfg(test)]

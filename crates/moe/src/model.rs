@@ -6,7 +6,7 @@ use crate::mlp::Mlp;
 use crate::router::Router;
 use crate::{MoeError, Result};
 use milo_tensor::rng::WeightDist;
-use milo_tensor::Matrix;
+use milo_tensor::{pool, Matrix};
 use milo_tensor::rng::StdRng;
 use milo_tensor::rng::{Rng, SeedableRng};
 
@@ -34,6 +34,12 @@ pub struct MoeBlock {
 impl MoeBlock {
     /// Applies the block to a batch of token vectors (`tokens × d`),
     /// optionally recording per-expert activation counts.
+    ///
+    /// Experts are independent once the token→expert assignment is
+    /// built, so their batched GEMMs run concurrently on the
+    /// [`milo_tensor::pool`]; the weighted scatter-back into the output
+    /// stays serial in expert order, which keeps the result bit-identical
+    /// to the single-threaded path at every `MILO_THREADS` setting.
     pub fn forward_counting(
         &self,
         x: &Matrix,
@@ -53,23 +59,36 @@ impl MoeBlock {
                 }
             }
         }
-        for (e, toks) in assignment.iter().enumerate() {
-            if toks.is_empty() {
-                continue;
-            }
-            let mut sub = Matrix::zeros(toks.len(), d);
-            for (i, &(t, _)) in toks.iter().enumerate() {
-                sub.row_mut(i).copy_from_slice(x.row(t));
-            }
-            let y = self.experts[e].forward(&sub)?;
-            for (i, &(t, gate)) in toks.iter().enumerate() {
+
+        // Parallel expert dispatch: gather + forward per expert, in
+        // index-ordered result slots.
+        let expert_outputs: Vec<Option<Result<Matrix>>> =
+            pool::par_map(self.experts.len(), |e| {
+                let toks = &assignment[e];
+                if toks.is_empty() {
+                    return None;
+                }
+                let mut sub = Matrix::zeros(toks.len(), d);
+                for (i, &(t, _)) in toks.iter().enumerate() {
+                    sub.row_mut(i).copy_from_slice(x.row(t));
+                }
+                Some(self.experts[e].forward(&sub))
+            });
+        // Deterministic scatter-back: expert order, then token order.
+        for (e, maybe) in expert_outputs.into_iter().enumerate() {
+            let Some(res) = maybe else { continue };
+            let y = res?;
+            for (i, &(t, gate)) in assignment[e].iter().enumerate() {
                 for (o, v) in out.row_mut(t).iter_mut().zip(y.row(i)) {
                     *o += gate * v;
                 }
             }
         }
-        for shared in &self.shared {
-            let y = shared.forward(x)?;
+
+        let shared_outputs: Vec<Result<Matrix>> =
+            pool::par_map(self.shared.len(), |s| self.shared[s].forward(x));
+        for res in shared_outputs {
+            let y = res?;
             for t in 0..tokens {
                 for (o, v) in out.row_mut(t).iter_mut().zip(y.row(t)) {
                     *o += v;
@@ -427,6 +446,29 @@ mod tests {
         let logits = vec![0.0, 10.0, 0.0, 0.0];
         for _ in 0..20 {
             assert_eq!(sample_from_logits(&logits, 0.01, &mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn parallel_expert_dispatch_is_bit_identical_to_serial() {
+        // Both architectures: Mixtral-like (8 experts, top-2) and
+        // DeepSeek-like (fine-grained experts + shared experts).
+        for (cfg, seed) in [(MoeConfig::tiny_mixtral(), 11u64), (MoeConfig::tiny_deepseek(), 12)]
+        {
+            let m = MoeModel::synthesize(&cfg, seed);
+            let seq: Vec<u32> = (0..16).map(|i| (i * 5) % cfg.vocab as u32).collect();
+            let mut serial_counts = m.fresh_counts();
+            let serial = pool::with_threads(1, || {
+                m.forward_counting(&seq, Some(&mut serial_counts)).unwrap()
+            });
+            for t in [2, 4, 7] {
+                let mut counts = m.fresh_counts();
+                let par = pool::with_threads(t, || {
+                    m.forward_counting(&seq, Some(&mut counts)).unwrap()
+                });
+                assert_eq!(par.as_slice(), serial.as_slice(), "threads={t}");
+                assert_eq!(counts, serial_counts, "threads={t}");
+            }
         }
     }
 

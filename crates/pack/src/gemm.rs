@@ -13,12 +13,22 @@
 //! tiled reduction loop terminates early when the reduction dimension is
 //! not a multiple of `4 × tile_k` (boundary test 2) — both without
 //! affecting results.
+//!
+//! Execution mirrors the kernel's threadblock decomposition literally:
+//! each `n`-tile is an independent task on the
+//! [`milo_tensor::pool`] scoped thread pool, owns a contiguous strip of
+//! the (column-major) accumulator, and de-quantizes its weight strips
+//! into a thread-local tile buffer. Within a tile the `k`-tile order and
+//! the per-element FP32 reduction order match the serial code exactly,
+//! so the output is bit-identical at every `MILO_THREADS` setting. The
+//! batch is still *padded* to the granule for validation semantics, but
+//! the MAC loops only visit real rows (padded rows are known-zero).
 
 use crate::matrix::PackedWeight;
 #[cfg(test)]
 use crate::matrix::PackedMatrix;
 use crate::{PackError, Result};
-use milo_tensor::{F16, Matrix};
+use milo_tensor::{pool, F16, Matrix};
 
 /// Tensor-Core batch granularity: batches are padded to a multiple of
 /// this (Appendix D boundary case 1).
@@ -117,8 +127,10 @@ impl GemmKernel {
         let (k, n) = (w.cols(), w.rows());
         let (tile_k, tile_n) = self.tile.dims();
 
-        // Pad the batch to the Tensor-Core granule; padded rows are zero
-        // and are dropped from the output.
+        // Pad the batch to the Tensor-Core granule. Padded rows are
+        // known-zero and dropped from the output, so only the `batch`
+        // real rows are converted or multiplied — at batch=1 the old
+        // MAC-over-all-16-padded-rows loop was 16× wasted multiplies.
         let padded_batch = batch.div_ceil(BATCH_GRANULE) * BATCH_GRANULE;
         let mut x16 = vec![F16::ZERO; padded_batch * k];
         for b in 0..batch {
@@ -126,37 +138,44 @@ impl GemmKernel {
                 x16[b * k + j] = F16::from_f32(v);
             }
         }
+        let x16 = &x16;
 
-        let mut acc = vec![0.0f32; padded_batch * n];
-        let mut wtile = vec![F16::ZERO; tile_k]; // dequantized strip buffer
-
-        // Blocked loops mirroring the kernel's threadblock decomposition:
-        // each (n-tile, k-tile) pair dequantizes its weight strip once and
-        // applies it to every batch row.
-        for n0 in (0..n).step_by(tile_n) {
+        // Output accumulator in n-major order (`acc[o * batch + b]`) so
+        // every n-tile owns one contiguous strip — the threadblock
+        // decomposition becomes a lock-free parallel loop. Each tile
+        // de-quantizes its weight strips into a thread-local buffer and
+        // keeps the per-element k-tile reduction order sequential, so
+        // results are bit-identical across thread counts.
+        let mut acc = vec![0.0f32; n * batch];
+        pool::parallel_chunks_mut(&mut acc, tile_n * batch, |tile_idx, strip| {
+            let n0 = tile_idx * tile_n;
+            let mut wtile = vec![F16::ZERO; tile_k]; // thread-local dequant strip
             for k0 in (0..k).step_by(tile_k) {
-                for o in n0..n0 + tile_n {
-                    // Dequantize the k-strip of output row o via the
-                    // packed group path.
+                for oo in 0..tile_n {
+                    let o = n0 + oo;
+                    // Dequantize the k-strip of output row o straight
+                    // into the tile buffer via the packed group path.
                     for (gi, g) in ((k0 / 32)..((k0 + tile_k) / 32)).enumerate() {
-                        let vals = w.dequant_group32(o, g);
-                        wtile[gi * 32..gi * 32 + 32].copy_from_slice(&vals);
+                        w.dequant_group32_into(o, g, &mut wtile[gi * 32..gi * 32 + 32]);
                     }
-                    for b in 0..padded_batch {
+                    for (b, out) in strip[oo * batch..(oo + 1) * batch].iter_mut().enumerate()
+                    {
                         let xrow = &x16[b * k + k0..b * k + k0 + tile_k];
                         let mut sum = 0.0f32;
                         for (xv, wv) in xrow.iter().zip(&wtile) {
                             sum += xv.to_f32() * wv.to_f32();
                         }
-                        acc[b * n + o] += sum;
+                        *out += sum;
                     }
                 }
             }
-        }
+        });
 
         let mut out = Matrix::zeros(batch, n);
         for b in 0..batch {
-            out.row_mut(b).copy_from_slice(&acc[b * n..b * n + n]);
+            for (o, row_v) in out.row_mut(b).iter_mut().enumerate() {
+                *row_v = acc[o * batch + b];
+            }
         }
         Ok(out)
     }
@@ -180,16 +199,39 @@ impl GemmKernel {
         let dense = w.dequantize_dense(); // n × k, already rounded through FP16
         let batch = x.rows();
         let (k, n) = (w.cols(), w.rows());
+        let (_, tile_n) = self.tile.dims();
+
+        // Round the activations through FP16 once (W3A16 semantics) and
+        // parallelize over the same n-tiles as the fused path, each tile
+        // owning a contiguous strip of the n-major accumulator.
+        let mut x16 = vec![F16::ZERO; batch * k];
+        for b in 0..batch {
+            for (j, &v) in x.row(b).iter().enumerate() {
+                x16[b * k + j] = F16::from_f32(v);
+            }
+        }
+        let x16 = &x16;
+        let dense = &dense;
+
+        let mut acc = vec![0.0f32; n * batch];
+        pool::parallel_chunks_mut(&mut acc, tile_n * batch, |tile_idx, strip| {
+            let n0 = tile_idx * tile_n;
+            for oo in 0..tile_n {
+                let wrow = dense.row(n0 + oo);
+                for (b, out) in strip[oo * batch..(oo + 1) * batch].iter_mut().enumerate() {
+                    let mut sum = 0.0f32;
+                    for j in 0..k {
+                        sum += x16[b * k + j].to_f32() * wrow[j];
+                    }
+                    *out = sum;
+                }
+            }
+        });
+
         let mut out = Matrix::zeros(batch, n);
         for b in 0..batch {
-            let xrow = x.row(b);
-            for o in 0..n {
-                let wrow = dense.row(o);
-                let mut sum = 0.0f32;
-                for j in 0..k {
-                    sum += F16::from_f32(xrow[j]).to_f32() * wrow[j];
-                }
-                out[(b, o)] = sum;
+            for (o, row_v) in out.row_mut(b).iter_mut().enumerate() {
+                *row_v = acc[o * batch + b];
             }
         }
         Ok(out)
@@ -328,6 +370,43 @@ mod tests {
         let (_, _, packed) = setup(1, 128, 128, 8);
         let x = Matrix::zeros(1, 64);
         assert!(GemmKernel::default().gemm(&x, &packed).is_err());
+    }
+
+    #[test]
+    fn parallel_gemm_is_bit_identical_across_thread_counts() {
+        use milo_tensor::pool;
+        // Batches hitting both padding regimes (1, 5 padded to 16; 16
+        // exact; 17 padded to 32) and both kernel paths.
+        for batch in [1usize, 5, 16, 17] {
+            let (x, _, packed) = setup(batch, 256, 256, 21);
+            let kernel = GemmKernel::default();
+            let serial = pool::with_threads(1, || kernel.gemm(&x, &packed).unwrap());
+            let serial_unfused =
+                pool::with_threads(1, || kernel.gemm_unfused(&x, &packed).unwrap());
+            for t in [2, 4, 7] {
+                let par = pool::with_threads(t, || kernel.gemm(&x, &packed).unwrap());
+                assert_eq!(par.as_slice(), serial.as_slice(), "fused batch={batch} t={t}");
+                let par_unfused =
+                    pool::with_threads(t, || kernel.gemm_unfused(&x, &packed).unwrap());
+                assert_eq!(
+                    par_unfused.as_slice(),
+                    serial_unfused.as_slice(),
+                    "unfused batch={batch} t={t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_gemm_identical_for_every_tile_shape() {
+        use milo_tensor::pool;
+        let (x, _, packed) = setup(4, 256, 256, 22);
+        for tile in TileShape::all() {
+            let kernel = GemmKernel { tile };
+            let serial = pool::with_threads(1, || kernel.gemm(&x, &packed).unwrap());
+            let par = pool::with_threads(4, || kernel.gemm(&x, &packed).unwrap());
+            assert_eq!(par.as_slice(), serial.as_slice(), "{tile:?}");
+        }
     }
 
     #[test]

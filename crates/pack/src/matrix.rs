@@ -17,7 +17,10 @@ use milo_tensor::{F16, Matrix};
 /// 32-element strips — the interface the fused GEMM kernel consumes.
 /// Implemented by the INT3 [`PackedMatrix`] and the INT4
 /// [`Packed4Matrix`](crate::matrix4::Packed4Matrix).
-pub trait PackedWeight {
+///
+/// `Sync` is a supertrait because the kernel's `n`-tile tasks de-quantize
+/// strips of the same weight concurrently from pool worker threads.
+pub trait PackedWeight: Sync {
     /// Number of rows (output features).
     fn rows(&self) -> usize;
 
@@ -30,6 +33,19 @@ pub trait PackedWeight {
     /// De-quantizes the 32 weights of packing strip `g` in row `r` into
     /// FP16 values.
     fn dequant_group32(&self, r: usize, g: usize) -> [F16; 32];
+
+    /// De-quantizes strip `g` of row `r` directly into `out` (exactly 32
+    /// elements). The fused GEMM calls this so each strip lands straight
+    /// in the thread-local tile buffer instead of round-tripping through
+    /// a fresh `[F16; 32]`. Implementations should override the default
+    /// (which still does the by-value round trip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != 32`.
+    fn dequant_group32_into(&self, r: usize, g: usize, out: &mut [F16]) {
+        out.copy_from_slice(&self.dequant_group32(r, g));
+    }
 
     /// Materializes the whole matrix as dense `f32` through the packed
     /// de-quantization path.
@@ -179,6 +195,20 @@ impl PackedMatrix {
     /// De-quantizes one packing group into 32 FP16 values using the MiLo
     /// binary-manipulation path.
     pub fn dequant_group(&self, r: usize, g: usize) -> [F16; GROUP] {
+        let mut out = [F16::ZERO; GROUP];
+        self.dequant_group_into(r, g, &mut out);
+        out
+    }
+
+    /// [`PackedMatrix::dequant_group`] writing directly into `out`
+    /// (exactly [`GROUP`] elements) — the kernel's hot path, which keeps
+    /// each dequantized strip in the caller's tile buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range or `out.len() != 32`.
+    pub fn dequant_group_into(&self, r: usize, g: usize, out: &mut [F16]) {
+        assert_eq!(out.len(), GROUP, "strip buffer must hold {GROUP} values");
         let words = self.group_words(r, g);
         // Quant groups are >= 32 and multiples of 32, so one scale covers
         // the whole packing group.
@@ -187,7 +217,6 @@ impl PackedMatrix {
         let scale = self.scales[qg];
 
         let logical = [words[0], words[1], words[2], virtual_word(&words)];
-        let mut out = [F16::ZERO; GROUP];
         match self.scheme {
             Scheme::Symmetric => {
                 let step = F16::from_f32(scale);
@@ -206,7 +235,6 @@ impl PackedMatrix {
                 }
             }
         }
-        out
     }
 
     /// De-quantizes the whole matrix to dense `f32` through the FP16
@@ -254,6 +282,10 @@ impl PackedWeight for PackedMatrix {
 
     fn dequant_group32(&self, r: usize, g: usize) -> [F16; GROUP] {
         self.dequant_group(r, g)
+    }
+
+    fn dequant_group32_into(&self, r: usize, g: usize, out: &mut [F16]) {
+        self.dequant_group_into(r, g, out);
     }
 }
 

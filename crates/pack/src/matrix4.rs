@@ -127,6 +127,13 @@ impl PackedWeight for Packed4Matrix {
     }
 
     fn dequant_group32(&self, r: usize, g: usize) -> [F16; 32] {
+        let mut out = [F16::ZERO; 32];
+        self.dequant_group32_into(r, g, &mut out);
+        out
+    }
+
+    fn dequant_group32_into(&self, r: usize, g: usize, out: &mut [F16]) {
+        assert_eq!(out.len(), 32, "strip buffer must hold 32 values");
         let words_per_row = self.cols / PER_WORD;
         let qgroups_per_row = self.cols.div_ceil(self.group_size);
         let qg = r * qgroups_per_row + (g * 32) / self.group_size;
@@ -138,13 +145,11 @@ impl PackedWeight for Packed4Matrix {
         };
         let s16 = F16::from_f32(s);
         let nz16 = F16::from_f32(neg_zs);
-        let mut out = [F16::ZERO; 32];
         for w in 0..4 {
             let word = self.words[r * words_per_row + g * 4 + w];
             let vals = dequant_word4(word, s16, nz16);
             out[w * PER_WORD..(w + 1) * PER_WORD].copy_from_slice(&vals);
         }
-        out
     }
 }
 

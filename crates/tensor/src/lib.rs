@@ -19,6 +19,10 @@
 //!   (paper Table 2).
 //! * [`proptest`] — a minimal property-testing harness (seeded generation
 //!   plus input shrinking) replacing the external `proptest` crate.
+//! * [`pool`] — a scoped, work-stealing-free fork-join pool (sized by
+//!   `MILO_THREADS` / `available_parallelism`) that the hot paths — dense
+//!   matmul row blocks, the fused GEMM's `n`-tiles, MoE expert dispatch —
+//!   run on, with bit-identical results at every thread count.
 //! * [`stats`] — kurtosis, Frobenius norms, and the residual-rank measure
 //!   from paper Table 2.
 //! * [`linalg`] — Householder QR, one-sided Jacobi SVD, randomized
@@ -32,6 +36,7 @@ pub mod half;
 pub mod io;
 pub mod linalg;
 pub mod matrix;
+pub mod pool;
 pub mod prng;
 pub mod proptest;
 pub mod rng;

@@ -7,6 +7,11 @@
 
 use crate::{Result, TensorError};
 
+/// Minimum number of multiply-adds (`rows · k · cols`) before
+/// [`Matrix::matmul`] fans out over row blocks; below this the scoped
+/// thread spawn costs more than the arithmetic saves.
+pub const PAR_MATMUL_MIN_WORK: usize = 64 * 1024;
+
 /// A dense row-major matrix of `f32` values.
 ///
 /// # Examples
@@ -172,7 +177,11 @@ impl Matrix {
     /// Matrix product `self · rhs`.
     ///
     /// Uses a cache-friendly i-k-j loop order; adequate for the matrix sizes
-    /// used by the scaled models in this reproduction.
+    /// used by the scaled models in this reproduction. Products above
+    /// [`PAR_MATMUL_MIN_WORK`] multiply-adds are split over row blocks on
+    /// the [`crate::pool`]; each output row is produced entirely by one
+    /// block with the `k`-reduction order unchanged, so the result is
+    /// bit-identical to the serial path at every thread count.
     ///
     /// # Errors
     ///
@@ -185,20 +194,42 @@ impl Matrix {
             )));
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ik * b_kj;
-                }
+        let threads = crate::pool::max_threads();
+        let work = self.rows * self.cols * rhs.cols;
+        if threads > 1 && self.rows > 1 && work >= PAR_MATMUL_MIN_WORK {
+            let block_rows = self.rows.div_ceil(threads);
+            crate::pool::parallel_chunks_mut(
+                &mut out.data,
+                block_rows * rhs.cols,
+                |blk, out_block| {
+                    let r0 = blk * block_rows;
+                    for (i, out_row) in out_block.chunks_mut(rhs.cols).enumerate() {
+                        self.matmul_row_into(rhs, r0 + i, out_row);
+                    }
+                },
+            );
+        } else {
+            for i in 0..self.rows {
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                self.matmul_row_into(rhs, i, out_row);
             }
         }
         Ok(out)
+    }
+
+    /// Accumulates row `i` of `self · rhs` into `out_row` (i-k-j order;
+    /// the single code path both the serial and the row-block-parallel
+    /// matmul run, which is what makes them bit-identical).
+    fn matmul_row_into(&self, rhs: &Matrix, i: usize, out_row: &mut [f32]) {
+        for (k, &a_ik) in self.row(i).iter().enumerate() {
+            if a_ik == 0.0 {
+                continue;
+            }
+            let b_row = rhs.row(k);
+            for (o, &b_kj) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ik * b_kj;
+            }
+        }
     }
 
     /// Elementwise sum `self + rhs`.
@@ -417,5 +448,29 @@ mod tests {
     fn map_and_scale_agree() {
         let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f32);
         assert_eq!(a.scale(2.0), a.map(|v| v * 2.0));
+    }
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_to_serial() {
+        // 64×64×64 = 256k multiply-adds: above PAR_MATMUL_MIN_WORK, so
+        // thread counts > 1 exercise the row-block path.
+        let a = Matrix::from_fn(64, 64, |r, c| ((r * 31 + c * 7) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(64, 64, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.25);
+        let serial = crate::pool::with_threads(1, || a.matmul(&b).unwrap());
+        for t in [2, 4, 7] {
+            let par = crate::pool::with_threads(t, || a.matmul(&b).unwrap());
+            assert_eq!(par.as_slice(), serial.as_slice(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_handles_row_counts_not_divisible_by_threads() {
+        let a = Matrix::from_fn(33, 64, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Matrix::from_fn(64, 65, |r, c| ((r + c) % 7) as f32);
+        let serial = crate::pool::with_threads(1, || a.matmul(&b).unwrap());
+        for t in [2, 4, 7] {
+            let par = crate::pool::with_threads(t, || a.matmul(&b).unwrap());
+            assert_eq!(par.as_slice(), serial.as_slice(), "threads={t}");
+        }
     }
 }

@@ -1,0 +1,341 @@
+//! A scoped, work-stealing-free fork-join pool for the hot numeric paths.
+//!
+//! The paper's kernel (§3.3) maps its tiled decomposition onto parallel
+//! threadblocks; this module is the CPU analogue every hot path in the
+//! workspace routes through: [`Matrix::matmul`](crate::Matrix::matmul)
+//! row blocks, the fused GEMM's `n`-tiles, and MoE expert dispatch.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Work is split into *statically assigned contiguous
+//!    chunks* (no work stealing, no atomics on the data path), and every
+//!    output element is produced entirely by one task with its reduction
+//!    order unchanged from the serial code. Parallel results are therefore
+//!    bit-identical to serial results for every thread count.
+//! 2. **Hermeticity.** Built on `std::thread::scope` only (PR 1 policy:
+//!    no external crates).
+//! 3. **No oversubscription.** Worker threads are flagged; nested
+//!    parallel calls made from inside a pool task run serially, so an
+//!    expert-parallel MoE layer does not spawn a thread per matmul.
+//!
+//! Sizing: `MILO_THREADS` (read once per process) overrides
+//! `std::thread::available_parallelism`. Tests and benches use
+//! [`with_threads`] for a calling-thread-scoped override that needs no
+//! environment mutation and cannot race across test threads.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Upper bound on the thread count accepted from the environment or
+/// [`with_threads`]; a typo like `MILO_THREADS=1000000` must not try to
+/// spawn a million OS threads.
+pub const MAX_THREADS: usize = 512;
+
+thread_local! {
+    /// Calling-thread-scoped thread-count override (0 = unset).
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// Set while this thread is executing a pool task; forces nested
+    /// parallel calls onto the serial path.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Process-wide default worker count: `MILO_THREADS` if set and valid,
+/// otherwise `available_parallelism`. Resolved once.
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        let env = std::env::var("MILO_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        env.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|t| t.get()).unwrap_or(1)
+        })
+        .min(MAX_THREADS)
+    })
+}
+
+/// The number of threads a parallel operation started on this thread may
+/// use right now: 1 inside a pool task (nested calls stay serial),
+/// otherwise the innermost [`with_threads`] override, otherwise the
+/// process default (`MILO_THREADS` / `available_parallelism`).
+pub fn max_threads() -> usize {
+    if IN_POOL.with(Cell::get) {
+        return 1;
+    }
+    let o = OVERRIDE.with(Cell::get);
+    if o > 0 {
+        o.min(MAX_THREADS)
+    } else {
+        default_threads()
+    }
+}
+
+/// Runs `f` with the pool sized to `n` threads for parallel operations
+/// started on the calling thread, restoring the previous setting on exit
+/// (including on panic). `n = 0` is treated as 1.
+///
+/// This is the override the equivalence tests and benches use to sweep
+/// thread counts without touching the process environment.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _restore = Restore(OVERRIDE.with(|c| c.replace(n.clamp(1, MAX_THREADS))));
+    f()
+}
+
+/// RAII guard that marks the current thread as executing a pool task.
+struct TaskGuard(bool);
+
+impl TaskGuard {
+    fn enter() -> Self {
+        Self(IN_POOL.with(|c| c.replace(true)))
+    }
+}
+
+impl Drop for TaskGuard {
+    fn drop(&mut self) {
+        IN_POOL.with(|c| c.set(self.0));
+    }
+}
+
+/// Calls `body(i)` for every `i in 0..tasks`, splitting the index range
+/// into contiguous chunks across up to [`max_threads`] scoped threads
+/// (the calling thread processes the first chunk). Serial when one
+/// thread is configured, when `tasks <= 1`, or when called from inside
+/// another pool task.
+///
+/// # Panics
+///
+/// Propagates panics from `body` (the scope joins every worker).
+pub fn parallel_for(tasks: usize, body: impl Fn(usize) + Sync) {
+    let threads = max_threads().min(tasks);
+    if threads <= 1 {
+        for i in 0..tasks {
+            body(i);
+        }
+        return;
+    }
+    let chunk = tasks.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let body = &body;
+        let handles: Vec<_> = (1..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let _guard = TaskGuard::enter();
+                    for i in t * chunk..tasks.min((t + 1) * chunk) {
+                        body(i);
+                    }
+                })
+            })
+            .collect();
+        {
+            let _guard = TaskGuard::enter();
+            for i in 0..chunk.min(tasks) {
+                body(i);
+            }
+        }
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+    });
+}
+
+/// Maps `f` over `0..n`, returning results in index order. Same
+/// scheduling and nesting rules as [`parallel_for`].
+pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let threads = max_threads().min(n);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (1..threads)
+            .map(|t| {
+                scope.spawn(move || {
+                    let _guard = TaskGuard::enter();
+                    (t * chunk..n.min((t + 1) * chunk)).map(f).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        let head = {
+            let _guard = TaskGuard::enter();
+            (0..chunk.min(n)).map(f).collect::<Vec<T>>()
+        };
+        let mut out = vec![head];
+        out.extend(handles.into_iter().map(|h| h.join().expect("pool worker panicked")));
+        out
+    });
+    let mut flat = Vec::with_capacity(n);
+    for c in &mut chunks {
+        flat.append(c);
+    }
+    flat
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` elements (the
+/// last may be shorter) and calls `body(chunk_index, chunk)` for each,
+/// distributing contiguous *runs of chunks* across up to [`max_threads`]
+/// scoped threads. This is how mutable output buffers (matmul row
+/// blocks, GEMM `n`-tile strips) are handed out without locks: each
+/// chunk is a disjoint `&mut` slice.
+///
+/// # Panics
+///
+/// Panics if `chunk_len == 0`; propagates panics from `body`.
+pub fn parallel_chunks_mut<T: Send>(
+    data: &mut [T],
+    chunk_len: usize,
+    body: impl Fn(usize, &mut [T]) + Sync,
+) {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if data.is_empty() {
+        return;
+    }
+    let n_chunks = data.len().div_ceil(chunk_len);
+    let threads = max_threads().min(n_chunks);
+    if threads <= 1 {
+        for (i, c) in data.chunks_mut(chunk_len).enumerate() {
+            body(i, c);
+        }
+        return;
+    }
+    // Group whole chunks into one contiguous run per thread.
+    let per_thread = n_chunks.div_ceil(threads);
+    let mut runs: Vec<(usize, &mut [T])> = Vec::with_capacity(threads);
+    let mut rest = data;
+    let mut first_chunk = 0;
+    while !rest.is_empty() {
+        let take = (per_thread * chunk_len).min(rest.len());
+        let (run, tail) = rest.split_at_mut(take);
+        runs.push((first_chunk, run));
+        first_chunk += per_thread;
+        rest = tail;
+    }
+    std::thread::scope(|scope| {
+        let body = &body;
+        let mut iter = runs.into_iter();
+        let head = iter.next().expect("data is non-empty");
+        let handles: Vec<_> = iter
+            .map(|(first, run)| {
+                scope.spawn(move || {
+                    let _guard = TaskGuard::enter();
+                    for (off, c) in run.chunks_mut(chunk_len).enumerate() {
+                        body(first + off, c);
+                    }
+                })
+            })
+            .collect();
+        {
+            let _guard = TaskGuard::enter();
+            let (first, run) = head;
+            for (off, c) in run.chunks_mut(chunk_len).enumerate() {
+                body(first + off, c);
+            }
+        }
+        for h in handles {
+            h.join().expect("pool worker panicked");
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_map_preserves_index_order() {
+        for t in [1, 2, 4, 7] {
+            let out = with_threads(t, || par_map(23, |i| i * i));
+            assert_eq!(out, (0..23).map(|i| i * i).collect::<Vec<_>>(), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        assert!(par_map(0, |i| i).is_empty());
+        assert_eq!(with_threads(4, || par_map(1, |i| i + 7)), vec![7]);
+    }
+
+    #[test]
+    fn parallel_for_visits_every_index_once() {
+        for t in [1, 2, 4, 7] {
+            let hits: Vec<AtomicUsize> = (0..19).map(|_| AtomicUsize::new(0)).collect();
+            with_threads(t, || {
+                parallel_for(19, |i| {
+                    hits[i].fetch_add(1, Ordering::Relaxed);
+                })
+            });
+            assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1), "threads={t}");
+        }
+    }
+
+    #[test]
+    fn parallel_chunks_mut_covers_all_chunks() {
+        for t in [1, 2, 4, 7] {
+            let mut data = vec![0usize; 37];
+            with_threads(t, || {
+                parallel_chunks_mut(&mut data, 5, |ci, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v = ci + 1;
+                    }
+                })
+            });
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, i / 5 + 1, "threads={t}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let before = max_threads();
+        with_threads(7, || {
+            assert_eq!(max_threads(), 7);
+            with_threads(2, || assert_eq!(max_threads(), 2));
+            assert_eq!(max_threads(), 7);
+        });
+        assert_eq!(max_threads(), before);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        with_threads(0, || assert_eq!(max_threads(), 1));
+    }
+
+    #[test]
+    fn nested_parallel_calls_run_serially() {
+        // Every body invocation observes max_threads() == 1, i.e. a
+        // nested matmul inside a pool task cannot spawn its own workers.
+        for t in [2, 4] {
+            let nested: Vec<usize> = with_threads(t, || par_map(8, |_| max_threads()));
+            assert!(nested.iter().all(|&n| n == 1), "threads={t}: {nested:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_len_panics() {
+        parallel_chunks_mut(&mut [1, 2, 3], 0, |_, _| {});
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                parallel_for(8, |i| {
+                    if i == 5 {
+                        panic!("boom");
+                    }
+                })
+            })
+        });
+        assert!(r.is_err());
+    }
+}

@@ -6,6 +6,9 @@
 #    Cargo.toml must name a `milo-*` workspace crate. The workspace must
 #    build on a clean machine with no network and no crates-io mirror.
 # 2. Builds and tests fully offline.
+# 3. Smoke-runs the gemm bench in quick mode (MILO_BENCH_QUICK=1) and
+#    checks the recorded baseline `results/BENCH_gemm_threads.json` is
+#    emitted and is well-formed JSON.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -56,3 +59,33 @@ echo "ok: all Cargo.toml dependencies are milo-* workspace crates"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 echo "ok: offline release build and test suite passed"
+
+# --- 3. Bench smoke (quick mode) -----------------------------------------
+# Run the gemm bench with the smoke configuration into a scratch baseline
+# path so the committed results/BENCH_gemm_threads.json (full-config run)
+# is not clobbered, then validate the emitted JSON.
+smoke_json=$(mktemp /tmp/BENCH_gemm_threads.XXXXXX.json)
+trap 'rm -f "$smoke_json"' EXIT
+MILO_BENCH_QUICK=1 MILO_BENCH_BASELINE="$smoke_json" \
+    cargo bench --offline -p milo-bench --bench gemm >/dev/null
+
+if [ ! -s "$smoke_json" ]; then
+    echo "ERROR: bench smoke did not emit $smoke_json"
+    exit 1
+fi
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$smoke_json" <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+for key in ("baseline", "host_threads", "derived"):
+    assert key in doc, f"missing key: {key}"
+assert doc["baseline"]["suite"] == "BENCH_gemm_threads"
+assert doc["baseline"]["results"], "baseline has no results"
+PY
+else
+    # Fallback without python3: sanity-grep the structure.
+    grep -q '"suite":"BENCH_gemm_threads"' "$smoke_json"
+    grep -q '"host_threads":' "$smoke_json"
+    grep -q '"derived":' "$smoke_json"
+fi
+echo "ok: quick-mode gemm bench emitted a well-formed threads baseline"

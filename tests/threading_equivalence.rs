@@ -1,0 +1,121 @@
+//! Cross-crate determinism suite for the threading PR: every parallel
+//! path (dense matmul, fused/unfused packed GEMM, `PackedLinear`
+//! including its dense fallback, the full packed engine forward) must be
+//! **bit-identical** at every thread count. The pool's static contiguous
+//! chunking plus unchanged per-element FP32 accumulation order makes the
+//! guarantee exact equality, not tolerance-based closeness.
+//!
+//! Thread counts are swept with `pool::with_threads` (a thread-local
+//! override), so these tests never mutate `MILO_THREADS` and stay safe
+//! under cargo's parallel test runner.
+
+use milo::core::{compress_model, milo_compress, MiloOptions, RankPolicy};
+use milo::engine::{PackedLinear, PackedMoeModel};
+use milo::moe::{layer_tensors, MoeConfig, MoeModel};
+use milo::pack::{GemmKernel, PackedMatrix, TileShape};
+use milo::quant::{rtn_quantize, QuantConfig};
+use milo::tensor::pool;
+use milo::tensor::rng::{SeedableRng, StdRng, WeightDist};
+use milo::tensor::Matrix;
+use milo_tensor::proptest::{check, uniform_f32, vec_of, Config};
+use milo_tensor::prop_assert_eq;
+
+/// The thread counts every equivalence test sweeps: serial, even splits,
+/// and a count that does not divide typical dimensions.
+const SWEEP: [usize; 4] = [1, 2, 4, 7];
+
+fn gaussian(rows: usize, cols: usize, std: f32, seed: u64) -> Matrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    WeightDist::Gaussian { std }.sample_matrix(rows, cols, &mut rng)
+}
+
+#[test]
+fn dense_matmul_identical_across_thread_counts() {
+    // Above the parallel-matmul work threshold and with row counts that
+    // leave ragged final chunks at 4 and 7 threads.
+    let a = gaussian(37, 96, 1.0, 1);
+    let b = gaussian(96, 83, 0.5, 2);
+    let serial = pool::with_threads(1, || a.matmul(&b).unwrap());
+    for threads in SWEEP {
+        let par = pool::with_threads(threads, || a.matmul(&b).unwrap());
+        assert_eq!(serial, par, "matmul diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn packed_gemm_identical_across_thread_counts_all_tiles() {
+    let w = gaussian(256, 256, 0.05, 3);
+    let q = rtn_quantize(&w, &QuantConfig::int3_asym()).unwrap();
+    let packed = PackedMatrix::pack(&q).unwrap();
+    for batch in [1usize, 5, 17] {
+        let x = gaussian(batch, 256, 1.0, 4 + batch as u64);
+        for tile in TileShape::all() {
+            let kernel = GemmKernel { tile };
+            let serial = pool::with_threads(1, || kernel.gemm(&x, &packed).unwrap());
+            let serial_unfused =
+                pool::with_threads(1, || kernel.gemm_unfused(&x, &packed).unwrap());
+            for threads in SWEEP {
+                pool::with_threads(threads, || {
+                    assert_eq!(serial, kernel.gemm(&x, &packed).unwrap());
+                    assert_eq!(serial_unfused, kernel.gemm_unfused(&x, &packed).unwrap());
+                });
+            }
+        }
+    }
+}
+
+#[test]
+fn packed_linear_identical_including_dense_fallback() {
+    // 256×128 takes the packed kernel path; 96×192 is untileable and
+    // exercises the dense-fallback matmul under the pool.
+    for (rows, cols) in [(256usize, 128usize), (96, 192)] {
+        let w = gaussian(rows, cols, 0.06, 5);
+        let opts = MiloOptions { max_iters: 2, ..MiloOptions::default() };
+        let layer = milo_compress(&w, 4, &opts).unwrap();
+        let lin = PackedLinear::build(&layer).unwrap();
+        let x = gaussian(9, cols, 1.0, 6);
+        let serial = pool::with_threads(1, || lin.forward(&x).unwrap());
+        for threads in SWEEP {
+            let par = pool::with_threads(threads, || lin.forward(&x).unwrap());
+            assert_eq!(serial, par, "({rows},{cols}) diverged at {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn packed_engine_forward_identical_across_thread_counts() {
+    let mut cfg = MoeConfig::tiny_mixtral();
+    cfg.n_layers = 2;
+    let reference = MoeModel::synthesize(&cfg, 57);
+    let tensors = layer_tensors(&reference, None);
+    let opts = MiloOptions { max_iters: 1, ..MiloOptions::default() };
+    let compressed =
+        compress_model(&tensors, &RankPolicy::uniform(2), &opts, 2).unwrap();
+    let engine = PackedMoeModel::build(&reference, &compressed).unwrap();
+    let tokens: Vec<u32> = (0..16).map(|i| (i * 5) % cfg.vocab as u32).collect();
+
+    let serial = pool::with_threads(1, || engine.forward(&tokens).unwrap());
+    for threads in SWEEP {
+        let par = pool::with_threads(threads, || engine.forward(&tokens).unwrap());
+        assert_eq!(serial, par, "engine forward diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn prop_matmul_independent_of_thread_count() {
+    // Property: for random matrices the parallel product is bit-identical
+    // to the serial one at every swept thread count. Rows/cols chosen so
+    // chunk boundaries land mid-matrix.
+    let (rows, inner, cols) = (19usize, 64usize, 23usize);
+    let strategy = vec_of(uniform_f32(-1.0, 1.0), rows * inner + inner * cols);
+    check(&Config::with_cases(32), &strategy, |data| {
+        let a = Matrix::from_vec(rows, inner, data[..rows * inner].to_vec());
+        let b = Matrix::from_vec(inner, cols, data[rows * inner..].to_vec());
+        let serial = pool::with_threads(1, || a.matmul(&b).unwrap());
+        for threads in SWEEP {
+            let par = pool::with_threads(threads, || a.matmul(&b).unwrap());
+            prop_assert_eq!(&serial, &par);
+        }
+        Ok(())
+    });
+}
