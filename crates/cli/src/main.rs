@@ -15,6 +15,9 @@
 //!
 //! # Inspect a compressed model:
 //! milo-cli info --compressed compressed.milo
+//!
+//! # Verify artifact integrity (checksums, per-layer status):
+//! milo-cli check --artifact compressed.milo [--strict]
 //! ```
 
 use milo_bench::methods::{run_gptq_full, run_milo, run_rtn};
@@ -37,7 +40,10 @@ fn usage() -> ExitCode {
          quantize  --model FILE --method milo|hqq|rtn|gptq [--dense-rank n] [--sparse-rank n]\n            \
                    [--sparse-policy uniform|kurtosis|frequency] [--iters n] --out FILE\n  \
          eval      --model FILE --compressed FILE [--json FILE]\n  \
-         info      --compressed FILE"
+         info      --compressed FILE\n  \
+         check     --artifact FILE [--strict]   (verify MILO/MOEM checksums; \
+--strict also rejects\n            \
+                   unchecksummed legacy artifacts and trailing data)"
     );
     ExitCode::from(2)
 }
@@ -54,6 +60,7 @@ fn main() -> ExitCode {
         "quantize" => cmd_quantize(&args),
         "eval" => cmd_eval(&args),
         "info" => cmd_info(&args),
+        "check" => cmd_check(&args),
         _ => return usage(),
     };
     match result {
@@ -187,6 +194,75 @@ fn cmd_eval(args: &Args) -> Result<(), CliError> {
         std::fs::write(json_path, json.render())?;
         println!("wrote {json_path}");
     }
+    Ok(())
+}
+
+/// Verifies an artifact's section checksums without materializing the
+/// model, printing per-section integrity and failing (nonzero exit) if
+/// any section is damaged. Handles both artifact formats, sniffed from
+/// the magic tag: `MILO` (compressed models) and `MOEM` (reference
+/// models). With `--strict`, unchecksummed legacy (v1) artifacts and
+/// trailing bytes after the final section are also failures.
+fn cmd_check(args: &Args) -> Result<(), CliError> {
+    let path = required(args, "artifact")?;
+    let strict = args.flag("strict");
+    let mut file = std::io::BufReader::new(std::fs::File::open(path)?);
+
+    use std::io::Read;
+    let mut magic = [0u8; 4];
+    file.read_exact(&mut magic)?;
+    let stream = std::io::Cursor::new(magic).chain(file);
+    let (format, report) = match &magic {
+        b"MILO" => {
+            ("MILO", milo_core::serialize::verify_compressed_stream(&mut { stream })?)
+        }
+        b"MOEM" => ("MOEM", milo_moe::serialize::verify_model_stream(&mut { stream })?),
+        other => {
+            return Err(format!(
+                "unrecognized artifact magic {:?} (expected MILO or MOEM)",
+                String::from_utf8_lossy(other)
+            )
+            .into())
+        }
+    };
+
+    println!(
+        "{path}: {format} v{} ({})",
+        report.version,
+        if report.checksummed { "checksummed" } else { "legacy, no checksums" }
+    );
+    if report.checksummed {
+        let mut t = Table::new(["section", "bytes", "status"]);
+        for s in &report.sections {
+            t.push_row([
+                s.name.clone(),
+                s.bytes.to_string(),
+                match &s.fault {
+                    None => "ok".to_string(),
+                    Some(f) => format!("CORRUPT: {f}"),
+                },
+            ]);
+        }
+        println!("{}", t.render());
+        if report.trailing_data {
+            println!("warning: trailing data after the final section");
+        }
+    }
+
+    let n_corrupt = report.n_corrupt();
+    if n_corrupt > 0 {
+        return Err(format!("{n_corrupt} corrupt section(s) detected").into());
+    }
+    if strict && !report.checksummed {
+        return Err("legacy artifact has no checksums (rejected by --strict)".into());
+    }
+    if strict && report.trailing_data {
+        return Err("trailing data after the final section (rejected by --strict)".into());
+    }
+    println!(
+        "integrity ok: {} section(s) verified",
+        if report.checksummed { report.sections.len() } else { 0 }
+    );
     Ok(())
 }
 

@@ -5,6 +5,13 @@
 //! records. Each record carries its name, policy metadata, rank, the
 //! quantized weight (via `milo-quant`'s format), an optional compensator
 //! (FP32 factors or quantized factors), and the convergence history.
+//!
+//! Since version 2 every layer record is a *checksummed section*
+//! (`u64` length + CRC-32 + payload, see [`milo_tensor::io`]): a flipped
+//! bit or a truncated file is reported as a typed
+//! [`CorruptSection`](milo_tensor::io::CorruptSection) error naming the
+//! offending layer, never as silently-garbage weights. Version 1
+//! artifacts (no checksums) are still read.
 
 use crate::compensator::{Compensator, LowRankCompensator, QuantizedCompensator};
 use crate::model::{CompressedModel, LayerRecord};
@@ -12,13 +19,20 @@ use crate::optimizer::CompressedLayer;
 use crate::policy::{LayerKind, LayerMeta};
 use milo_quant::serialize::{read_quantized, write_quantized};
 use milo_tensor::io::{
-    expect_tag, read_f32, read_f32_vec, read_matrix, read_string, read_u32, read_u64,
-    write_f32, write_f32_slice, write_matrix, write_string, write_tag, write_u32, write_u64,
+    expect_tag, read_f32, read_f32_vec, read_matrix, read_section_lenient, read_string,
+    read_u32, read_u64, write_f32, write_f32_slice, write_matrix, write_section,
+    write_string, write_tag, write_u32, write_u64, CorruptSection, IntegrityReport,
+    SectionFault, SectionReport,
 };
-use std::io::{self, Read, Write};
+use std::io::{self, Cursor, Read, Write};
 
 const MAGIC: &[u8; 4] = b"MILO";
-const VERSION: u32 = 1;
+/// Current format version (checksummed sections).
+const VERSION: u32 = 2;
+/// The pre-checksum format; still accepted by the reader.
+const LEGACY_VERSION: u32 = 1;
+/// Sanity limit on the layer count read from a (possibly corrupt) header.
+const MAX_LAYERS: u64 = 1 << 24;
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -83,7 +97,90 @@ fn read_compensator(r: &mut impl Read) -> io::Result<Compensator> {
     })
 }
 
-/// Writes a compressed model to a binary stream.
+/// Writes one layer record's payload (the version-1 record layout, which
+/// version 2 wraps in a checksummed section).
+fn write_layer_record(w: &mut impl Write, rec: &LayerRecord) -> io::Result<()> {
+    write_string(w, &rec.name)?;
+    write_kind(w, rec.meta.kind)?;
+    write_u64(w, rec.meta.rows as u64)?;
+    write_u64(w, rec.meta.cols as u64)?;
+    write_f32(w, rec.meta.kurtosis)?;
+    write_f32(w, rec.meta.frequency)?;
+    write_u64(w, rec.rank as u64)?;
+    write_quantized(w, &rec.layer.qweight)?;
+    match &rec.layer.compensator {
+        Some(c) => {
+            write_u32(w, 1)?;
+            write_compensator(w, c)?;
+        }
+        None => write_u32(w, 0)?,
+    }
+    write_f32_slice(w, &rec.layer.convergence)
+}
+
+/// Reads one layer record's payload.
+fn read_layer_record(r: &mut impl Read) -> io::Result<LayerRecord> {
+    let name = read_string(r)?;
+    let kind = read_kind(r)?;
+    let rows = read_u64(r)? as usize;
+    let cols = read_u64(r)? as usize;
+    let kurtosis = read_f32(r)?;
+    let frequency = read_f32(r)?;
+    let rank = read_u64(r)? as usize;
+    let qweight = read_quantized(r)?;
+    if qweight.shape() != (rows, cols) {
+        return Err(invalid(format!(
+            "layer {name}: metadata says {rows}x{cols}, weight is {:?}",
+            qweight.shape()
+        )));
+    }
+    let compensator = match read_u32(r)? {
+        0 => None,
+        1 => Some(read_compensator(r)?),
+        other => return Err(invalid(format!("bad compensator presence tag {other}"))),
+    };
+    let convergence = read_f32_vec(r)?;
+    Ok(LayerRecord {
+        name,
+        meta: LayerMeta { kind, rows, cols, kurtosis, frequency },
+        rank,
+        layer: CompressedLayer { qweight, compensator, convergence },
+    })
+}
+
+/// Best-effort upgrade of a corrupt-section error with the layer's name,
+/// which sits (length-prefixed) at the front of the payload and often
+/// survives a mid-record flip.
+fn name_section(fault: CorruptSection, index: usize, payload: &[u8]) -> CorruptSection {
+    let mut section = format!("layer {index}");
+    if let Ok(name) = read_string(&mut Cursor::new(payload)) {
+        if !name.is_empty() && name.len() <= 256 && name.chars().all(|c| !c.is_control()) {
+            section = format!("layer {index} ({name})");
+        }
+    }
+    CorruptSection { section, ..fault }
+}
+
+fn read_layer_count(r: &mut impl Read) -> io::Result<usize> {
+    let n = read_u64(r)?;
+    if n > MAX_LAYERS {
+        return Err(invalid(format!("layer count {n} exceeds sanity limit")));
+    }
+    Ok(n as usize)
+}
+
+/// Errors if the stream still holds bytes — a corrupt layer count must
+/// not silently drop trailing layers.
+fn expect_eof(r: &mut impl Read) -> io::Result<()> {
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(()),
+        _ => Err(invalid("trailing data after final layer (corrupt layer count?)")),
+    }
+}
+
+/// Writes a compressed model to a binary stream (current format: version
+/// 2, one checksummed section per layer).
 ///
 /// # Errors
 ///
@@ -93,71 +190,146 @@ pub fn write_compressed_model(w: &mut impl Write, model: &CompressedModel) -> io
     write_u32(w, VERSION)?;
     write_u64(w, model.layers.len() as u64)?;
     for rec in &model.layers {
-        write_string(w, &rec.name)?;
-        write_kind(w, rec.meta.kind)?;
-        write_u64(w, rec.meta.rows as u64)?;
-        write_u64(w, rec.meta.cols as u64)?;
-        write_f32(w, rec.meta.kurtosis)?;
-        write_f32(w, rec.meta.frequency)?;
-        write_u64(w, rec.rank as u64)?;
-        write_quantized(w, &rec.layer.qweight)?;
-        match &rec.layer.compensator {
-            Some(c) => {
-                write_u32(w, 1)?;
-                write_compensator(w, c)?;
-            }
-            None => write_u32(w, 0)?,
-        }
-        write_f32_slice(w, &rec.layer.convergence)?;
+        let mut payload = Vec::new();
+        write_layer_record(&mut payload, rec)?;
+        write_section(w, &payload)?;
     }
     Ok(())
 }
 
-/// Reads a compressed model from a binary stream.
+/// Writes a compressed model in the legacy version-1 layout (no
+/// checksums). Kept for compatibility tests and for producing artifacts
+/// older readers understand; new code should use
+/// [`write_compressed_model`].
+///
+/// # Errors
+///
+/// Propagates IO failures.
+pub fn write_compressed_model_v1(
+    w: &mut impl Write,
+    model: &CompressedModel,
+) -> io::Result<()> {
+    write_tag(w, MAGIC)?;
+    write_u32(w, LEGACY_VERSION)?;
+    write_u64(w, model.layers.len() as u64)?;
+    for rec in &model.layers {
+        write_layer_record(w, rec)?;
+    }
+    Ok(())
+}
+
+/// Reads a compressed model from a binary stream (versions 1 and 2).
 ///
 /// # Errors
 ///
 /// Returns `InvalidData` for malformed input or unsupported versions.
+/// For version-2 artifacts a checksum failure or truncation surfaces as
+/// a typed [`CorruptSection`] (recoverable from the error via
+/// [`milo_tensor::io::corrupt_section_info`]) naming the offending
+/// layer.
 pub fn read_compressed_model(r: &mut impl Read) -> io::Result<CompressedModel> {
     expect_tag(r, MAGIC)?;
     let version = read_u32(r)?;
+    let n = match version {
+        LEGACY_VERSION | VERSION => read_layer_count(r)?,
+        other => return Err(invalid(format!("unsupported format version {other}"))),
+    };
+    let mut layers = Vec::with_capacity(n.min(1 << 12));
+    for i in 0..n {
+        if version == LEGACY_VERSION {
+            layers.push(read_layer_record(r)?);
+            continue;
+        }
+        let (payload, fault) = read_section_lenient(r, &format!("layer {i}"))?;
+        if let Some(fault) = fault {
+            return Err(name_section(fault, i, &payload).into());
+        }
+        let mut cur = Cursor::new(payload.as_slice());
+        let rec = read_layer_record(&mut cur)
+            .map_err(|e| invalid(format!("layer {i}: {e}")))?;
+        if cur.position() != payload.len() as u64 {
+            return Err(invalid(format!(
+                "layer {i} ({}): record shorter than its section",
+                rec.name
+            )));
+        }
+        layers.push(rec);
+    }
+    if version == VERSION {
+        expect_eof(r)?;
+    }
+    Ok(CompressedModel { layers })
+}
+
+/// Walks a compressed-model stream verifying every section checksum
+/// without materializing the model, reporting per-layer integrity. Keeps
+/// scanning past checksum mismatches (the framing is still intact);
+/// stops only when the stream can no longer be followed (truncation).
+///
+/// Version-1 artifacts carry no checksums; the report says so
+/// (`checksummed == false`) and lists no sections.
+///
+/// # Errors
+///
+/// Returns `InvalidData` only if the stream is not a `MILO` artifact at
+/// all (bad magic / unknown version / implausible layer count).
+pub fn verify_compressed_stream(r: &mut impl Read) -> io::Result<IntegrityReport> {
+    expect_tag(r, MAGIC)?;
+    let version = read_u32(r)?;
+    if version == LEGACY_VERSION {
+        return Ok(IntegrityReport {
+            version,
+            checksummed: false,
+            sections: Vec::new(),
+            trailing_data: false,
+        });
+    }
     if version != VERSION {
         return Err(invalid(format!("unsupported format version {version}")));
     }
-    let n = read_u64(r)? as usize;
-    if n > 1 << 24 {
-        return Err(invalid(format!("layer count {n} exceeds sanity limit")));
-    }
-    let mut layers = Vec::with_capacity(n);
-    for _ in 0..n {
-        let name = read_string(r)?;
-        let kind = read_kind(r)?;
-        let rows = read_u64(r)? as usize;
-        let cols = read_u64(r)? as usize;
-        let kurtosis = read_f32(r)?;
-        let frequency = read_f32(r)?;
-        let rank = read_u64(r)? as usize;
-        let qweight = read_quantized(r)?;
-        if qweight.shape() != (rows, cols) {
-            return Err(invalid(format!(
-                "layer {name}: metadata says {rows}x{cols}, weight is {:?}",
-                qweight.shape()
-            )));
+    let n = read_layer_count(r)?;
+    let mut sections = Vec::with_capacity(n.min(1 << 12));
+    for i in 0..n {
+        match read_section_lenient(r, &format!("layer {i}")) {
+            Ok((payload, fault)) => {
+                let name = match &fault {
+                    None => {
+                        // Checksum passed: the payload parses, so take the
+                        // authoritative name from the record itself.
+                        read_layer_record(&mut Cursor::new(payload.as_slice()))
+                            .map(|rec| format!("layer {i} ({})", rec.name))
+                            .unwrap_or_else(|_| format!("layer {i}"))
+                    }
+                    Some(f) => name_section(f.clone(), i, &payload).section,
+                };
+                sections.push(SectionReport {
+                    name,
+                    bytes: payload.len() as u64,
+                    fault: fault.map(|f| f.fault),
+                });
+            }
+            Err(e) => {
+                // Truncated or oversized: the stream cannot be followed
+                // past this point.
+                let fault = milo_tensor::io::corrupt_section_info(&e)
+                    .map(|c| c.fault.clone())
+                    .unwrap_or(SectionFault::Truncated);
+                sections.push(SectionReport {
+                    name: format!("layer {i}"),
+                    bytes: 0,
+                    fault: Some(fault),
+                });
+                return Ok(IntegrityReport {
+                    version,
+                    checksummed: true,
+                    sections,
+                    trailing_data: false,
+                });
+            }
         }
-        let compensator = match read_u32(r)? {
-            0 => None,
-            1 => Some(read_compensator(r)?),
-            other => return Err(invalid(format!("bad compensator presence tag {other}"))),
-        };
-        let convergence = read_f32_vec(r)?;
-        layers.push(LayerRecord {
-            name,
-            meta: LayerMeta { kind, rows, cols, kurtosis, frequency },
-            rank,
-            layer: CompressedLayer { qweight, compensator, convergence },
-        });
     }
-    Ok(CompressedModel { layers })
+    let trailing_data = expect_eof(r).is_err();
+    Ok(IntegrityReport { version, checksummed: true, sections, trailing_data })
 }
 
 /// Saves a compressed model to a file.
@@ -186,8 +358,9 @@ mod tests {
     use crate::model::{compress_model, LayerTensor};
     use crate::optimizer::MiloOptions;
     use crate::policy::RankPolicy;
-    use milo_tensor::rng::WeightDist;
+    use milo_tensor::io::corrupt_section_info;
     use milo_tensor::rng::SeedableRng;
+    use milo_tensor::rng::WeightDist;
     use std::io::Cursor;
 
     fn sample_model(compensator_cfg: Option<milo_quant::QuantConfig>) -> CompressedModel {
@@ -259,6 +432,84 @@ mod tests {
         let mut bad_version = buf.clone();
         bad_version[4] = 99;
         assert!(read_compressed_model(&mut Cursor::new(bad_version)).is_err());
+    }
+
+    #[test]
+    fn legacy_v1_artifacts_still_read() {
+        let model = sample_model(Some(milo_quant::QuantConfig::int3_sym()));
+        let mut v1 = Vec::new();
+        write_compressed_model_v1(&mut v1, &model).unwrap();
+        assert_eq!(v1[4], LEGACY_VERSION as u8);
+        let out = read_compressed_model(&mut Cursor::new(v1)).unwrap();
+        assert_eq!(out.layers.len(), model.layers.len());
+        for (a, b) in out.layers.iter().zip(&model.layers) {
+            assert_eq!(a.layer, b.layer);
+        }
+    }
+
+    #[test]
+    fn corrupted_section_error_names_the_layer() {
+        let model = sample_model(None);
+        let mut buf = Vec::new();
+        write_compressed_model(&mut buf, &model).unwrap();
+        // Flip a byte deep inside the last layer's payload.
+        let off = buf.len() - 10;
+        buf[off] ^= 0x40;
+        let err = read_compressed_model(&mut Cursor::new(buf)).unwrap_err();
+        let info = corrupt_section_info(&err).expect("typed CorruptSection");
+        assert!(
+            info.section.contains("layer 2") && info.section.contains("layer0.expert2.w1"),
+            "section = {}",
+            info.section
+        );
+    }
+
+    #[test]
+    fn truncation_is_a_typed_error_at_every_cut() {
+        let model = sample_model(None);
+        let mut buf = Vec::new();
+        write_compressed_model(&mut buf, &model).unwrap();
+        // Spot-check cuts across headers, section frames, and payloads
+        // (the exhaustive sweep lives in tests/fault_injection.rs).
+        for cut in [0, 3, 4, 7, 12, 13, 21, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                read_compressed_model(&mut Cursor::new(&buf[..cut])).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn verify_reports_every_layer_and_pinpoints_damage() {
+        let model = sample_model(Some(milo_quant::QuantConfig::int3_sym()));
+        let mut buf = Vec::new();
+        write_compressed_model(&mut buf, &model).unwrap();
+
+        let clean = verify_compressed_stream(&mut Cursor::new(&buf[..])).unwrap();
+        assert!(clean.is_ok());
+        assert!(clean.checksummed);
+        assert_eq!(clean.sections.len(), 3);
+        assert!(clean.sections[1].name.contains("layer0.expert1.w1"));
+
+        // Damage the middle layer: the report flags exactly that one and
+        // still verifies its neighbours.
+        let mut bad = buf.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x08;
+        let report = verify_compressed_stream(&mut Cursor::new(&bad[..])).unwrap();
+        assert!(!report.is_ok());
+        assert_eq!(report.n_corrupt(), 1);
+        assert_eq!(report.sections.len(), 3);
+    }
+
+    #[test]
+    fn verify_handles_legacy_artifacts() {
+        let model = sample_model(None);
+        let mut v1 = Vec::new();
+        write_compressed_model_v1(&mut v1, &model).unwrap();
+        let report = verify_compressed_stream(&mut Cursor::new(v1)).unwrap();
+        assert!(!report.checksummed);
+        assert!(report.is_ok());
     }
 
     #[test]

@@ -111,7 +111,7 @@ impl PackedMoeModel {
             }
         }
         state.seen += 1;
-        Ok(self.project_logits(&x))
+        self.project_logits(&x)
     }
 
     /// Runs a whole prefix through the cache, returning the last

@@ -34,6 +34,16 @@ pub enum EngineError {
     Mismatch(String),
     /// A forward-pass failure (bad token, shape error).
     Run(String),
+    /// An expert failed during packed dispatch (panic, non-finite
+    /// output, or kernel error) under strict fault handling.
+    ExpertFailed {
+        /// Transformer layer index.
+        layer: usize,
+        /// Expert index within the layer (routed first, then shared).
+        expert: usize,
+        /// Human-readable failure cause.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -41,6 +51,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Mismatch(msg) => write!(f, "model mismatch: {msg}"),
             EngineError::Run(msg) => write!(f, "inference failed: {msg}"),
+            EngineError::ExpertFailed { layer, expert, reason } => {
+                write!(f, "expert {expert} of layer {layer} failed: {reason}")
+            }
         }
     }
 }

@@ -6,6 +6,7 @@ use crate::{EngineError, Result};
 use milo_core::CompressedModel;
 use milo_moe::attention::{attend, rms_norm};
 use milo_moe::mlp::silu;
+use milo_moe::health::{FaultKind, FaultMode, ResilienceContext};
 use milo_moe::router::Router;
 use milo_moe::{FfnBlock, MoeModel};
 use milo_tensor::{pool, Matrix};
@@ -155,6 +156,195 @@ impl PackedMoeModel {
         Ok(logits.scale(self.head_gain / (self.d_model as f32).sqrt()))
     }
 
+    /// Fault-tolerant forward pass on packed weights: expert dispatch
+    /// runs behind panic isolation, expert outputs are checked for
+    /// non-finite values at the expert boundary, and failures follow the
+    /// context's [`FaultMode`] — typed [`EngineError::ExpertFailed`] in
+    /// strict mode, quarantine + top-k mass renormalization over the
+    /// surviving experts in degrade mode (mirroring
+    /// [`milo_moe::MoeBlock::forward_resilient`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Run`] for invalid tokens, empty input, or
+    /// routing failures (a sick router cannot be degraded around), and
+    /// [`EngineError::ExpertFailed`] for an expert failure in strict
+    /// mode.
+    pub fn forward_resilient(
+        &self,
+        tokens: &[u32],
+        ctx: &ResilienceContext,
+    ) -> Result<Matrix> {
+        if tokens.is_empty() {
+            return Err(EngineError::Run("empty token sequence".into()));
+        }
+        let mut x = Matrix::zeros(tokens.len(), self.d_model);
+        for (i, &t) in tokens.iter().enumerate() {
+            if t as usize >= self.vocab {
+                return Err(EngineError::Run(format!("token {t} out of vocabulary")));
+            }
+            x.row_mut(i).copy_from_slice(self.embed.row(t as usize));
+        }
+
+        for li in 0..self.layers.len() {
+            let normed = rms_norm(&x);
+            let (q, k, v) = self.project_qkv(li, &normed)?;
+            let attn_ctx = attend(&q, &k, &v, self.layers[li].n_heads);
+            let a = self.project_out(li, &attn_ctx)?;
+            x = x.add(&a).map_err(|e| EngineError::Run(e.to_string()))?;
+
+            let normed = rms_norm(&x);
+            let f = self.ffn_forward_resilient(li, &normed, ctx)?;
+            x = x.add(&f).map_err(|e| EngineError::Run(e.to_string()))?;
+        }
+
+        let final_x = rms_norm(&x);
+        let logits = final_x
+            .matmul(&self.head.transpose())
+            .map_err(|e| EngineError::Run(e.to_string()))?;
+        Ok(logits.scale(self.head_gain / (self.d_model as f32).sqrt()))
+    }
+
+    /// Fault-tolerant FFN dispatch for layer `li`; see
+    /// [`PackedMoeModel::forward_resilient`] for the policy.
+    pub(crate) fn ffn_forward_resilient(
+        &self,
+        li: usize,
+        x: &Matrix,
+        ctx: &ResilienceContext,
+    ) -> Result<Matrix> {
+        let PackedFfn::Moe { router, experts, shared } = &self.layers[li].ffn else {
+            // A dense FFN has no experts to degrade around.
+            return self.ffn_forward(li, x);
+        };
+        let tokens_n = x.rows();
+        let mut out = Matrix::zeros(tokens_n, self.d_model);
+        let n_experts = experts.len();
+
+        let mut assignment: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_experts];
+        for t in 0..tokens_n {
+            let routed = router
+                .try_route(x.row(t))
+                .map_err(|e| EngineError::Run(format!("layer {li} routing: {e}")))?;
+            for (e, gate) in routed {
+                assignment[e].push((t, gate));
+            }
+        }
+
+        let raw = pool::try_par_map(n_experts, |e| {
+            if assignment[e].is_empty() || ctx.health.is_failed(li, e) {
+                return None;
+            }
+            if ctx.injected_kind(li, e) == Some(FaultKind::Panic) {
+                panic!("injected fault: expert {e} of layer {li} killed mid-dispatch");
+            }
+            let toks = &assignment[e];
+            let mut sub = Matrix::zeros(toks.len(), self.d_model);
+            for (i, &(t, _)) in toks.iter().enumerate() {
+                sub.row_mut(i).copy_from_slice(x.row(t));
+            }
+            let mut res = experts[e].forward(&sub);
+            if ctx.injected_kind(li, e) == Some(FaultKind::NanOutput) {
+                if let Ok(y) = &mut res {
+                    y.row_mut(0)[0] = f32::NAN;
+                }
+            }
+            Some(res)
+        });
+
+        let mut outputs: Vec<Option<Matrix>> = Vec::with_capacity(n_experts);
+        for (e, task) in raw.into_iter().enumerate() {
+            let outcome = match task {
+                Err(panic_msg) => Err(panic_msg),
+                Ok(None) => Ok(None),
+                Ok(Some(Err(err))) => Err(format!("kernel error: {err}")),
+                Ok(Some(Ok(y))) if !y.as_slice().iter().all(|v| v.is_finite()) => {
+                    Err("non-finite output".to_string())
+                }
+                Ok(Some(Ok(y))) => Ok(Some(y)),
+            };
+            match outcome {
+                Ok(maybe) => outputs.push(maybe),
+                Err(reason) => match ctx.mode {
+                    FaultMode::Strict => {
+                        return Err(EngineError::ExpertFailed { layer: li, expert: e, reason })
+                    }
+                    FaultMode::Degrade => {
+                        ctx.health.record(li, e, reason);
+                        outputs.push(None);
+                    }
+                },
+            }
+        }
+
+        // Healthy tokens have full == alive, so their rescale factor is
+        // exactly 1 and the output matches the non-resilient path.
+        let mut full = vec![0f32; tokens_n];
+        let mut alive = vec![0f32; tokens_n];
+        for (e, toks) in assignment.iter().enumerate() {
+            let survived = outputs[e].is_some();
+            for &(t, g) in toks {
+                full[t] += g;
+                if survived {
+                    alive[t] += g;
+                }
+            }
+        }
+        for (e, maybe) in outputs.iter().enumerate() {
+            let Some(y) = maybe else { continue };
+            for (i, &(t, gate)) in assignment[e].iter().enumerate() {
+                let g = if alive[t] == full[t] { gate } else { gate * full[t] / alive[t] };
+                for (o, v) in out.row_mut(t).iter_mut().zip(y.row(i)) {
+                    *o += g * v;
+                }
+            }
+        }
+
+        let shared_raw = pool::try_par_map(shared.len(), |s| {
+            let idx = n_experts + s;
+            if ctx.health.is_failed(li, idx) {
+                return None;
+            }
+            if ctx.injected_kind(li, idx) == Some(FaultKind::Panic) {
+                panic!("injected fault: shared expert {s} of layer {li} killed mid-dispatch");
+            }
+            Some(shared[s].forward(x))
+        });
+        for (s, task) in shared_raw.into_iter().enumerate() {
+            let idx = n_experts + s;
+            let outcome = match task {
+                Err(panic_msg) => Err(panic_msg),
+                Ok(None) => Ok(None),
+                Ok(Some(Err(err))) => Err(format!("kernel error: {err}")),
+                Ok(Some(Ok(y))) if !y.as_slice().iter().all(|v| v.is_finite()) => {
+                    Err("non-finite output".to_string())
+                }
+                Ok(Some(Ok(y))) => Ok(Some(y)),
+            };
+            match outcome {
+                Ok(None) => {}
+                Ok(Some(y)) => {
+                    for t in 0..tokens_n {
+                        for (o, v) in out.row_mut(t).iter_mut().zip(y.row(t)) {
+                            *o += v;
+                        }
+                    }
+                }
+                Err(reason) => match ctx.mode {
+                    FaultMode::Strict => {
+                        return Err(EngineError::ExpertFailed {
+                            layer: li,
+                            expert: idx,
+                            reason,
+                        })
+                    }
+                    FaultMode::Degrade => ctx.health.record(li, idx, reason),
+                },
+            }
+        }
+        Ok(out)
+    }
+
     /// Deployment memory of the quantized projections in bytes (routers,
     /// embeddings, and head — kept FP16 by the paper's backend — are
     /// *not* included, matching the paper's memory columns).
@@ -276,13 +466,13 @@ impl PackedMoeModel {
     }
 
     /// Projects a single residual row to logits (norm + head + gain).
-    pub(crate) fn project_logits(&self, x: &Matrix) -> Vec<f32> {
+    pub(crate) fn project_logits(&self, x: &Matrix) -> Result<Vec<f32>> {
         let final_x = milo_moe::attention::rms_norm(x);
         let logits = final_x
             .matmul(&self.head.transpose())
-            .expect("head width matches d_model by construction");
+            .map_err(|e| EngineError::Run(format!("head projection: {e}")))?;
         let gain = self.head_gain / (self.d_model as f32).sqrt();
-        logits.row(0).iter().map(|&l| l * gain).collect()
+        Ok(logits.row(0).iter().map(|&l| l * gain).collect())
     }
 
     /// Fraction of projections served by the packed kernel (the rest use
@@ -380,6 +570,51 @@ mod tests {
         let engine = PackedMoeModel::build(&reference, &compressed).unwrap();
         assert!(engine.forward(&[]).is_err());
         assert!(engine.forward(&[9999]).is_err());
+    }
+
+    #[test]
+    fn resilient_forward_matches_plain_when_healthy() {
+        let (reference, compressed) = build_pair(2);
+        let engine = PackedMoeModel::build(&reference, &compressed).unwrap();
+        let tokens = [1u32, 7, 13];
+        let plain = engine.forward(&tokens).unwrap();
+        let ctx = ResilienceContext::degrade();
+        let res = engine.forward_resilient(&tokens, &ctx).unwrap();
+        assert_eq!(res.as_slice(), plain.as_slice());
+        assert_eq!(ctx.health.n_failed(), 0);
+    }
+
+    #[test]
+    fn packed_dispatch_recovers_from_poisoned_expert() {
+        let (reference, compressed) = build_pair(2);
+        let engine = PackedMoeModel::build(&reference, &compressed).unwrap();
+        let tokens = [1u32, 7, 13, 22, 40];
+        // Find an expert that actually receives tokens in layer 0.
+        let mut counts = reference.fresh_counts();
+        reference.forward_counting(&tokens, Some(&mut counts)).unwrap();
+        let busiest = counts[0]
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(e, _)| e)
+            .unwrap();
+        for kind in [milo_moe::FaultKind::NanOutput, milo_moe::FaultKind::Panic] {
+            let fault = milo_moe::InjectedFault { layer: 0, expert: busiest, kind };
+            let ctx = ResilienceContext::degrade().with_fault(fault);
+            let logits = engine.forward_resilient(&tokens, &ctx).unwrap();
+            assert!(logits.as_slice().iter().all(|v| v.is_finite()), "{kind:?}");
+            assert!(ctx.health.is_failed(0, busiest), "{kind:?}");
+
+            let strict = ResilienceContext::strict().with_fault(fault);
+            match engine.forward_resilient(&tokens, &strict) {
+                Err(EngineError::ExpertFailed { layer: 0, expert, .. }) => {
+                    assert_eq!(expert, busiest, "{kind:?}");
+                }
+                other => panic!("expected ExpertFailed for {kind:?}, got {other:?}"),
+            }
+        }
+        // The engine still serves normal traffic afterwards.
+        assert!(engine.forward(&tokens).is_ok());
     }
 
     #[test]

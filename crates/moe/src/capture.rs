@@ -81,9 +81,12 @@ pub fn forward_capturing(
     tokens: &[u32],
     store: &mut ActivationStore,
 ) -> Result<Matrix> {
-    forward_capturing_until(model, tokens, store, model.layers.len()).map(|logits| {
-        logits.expect("full forward always produces logits")
-    })
+    match forward_capturing_until(model, tokens, store, model.layers.len())? {
+        Some(logits) => Ok(logits),
+        None => Err(crate::MoeError::InvalidInput(
+            "capture ended before the final layer produced logits".into(),
+        )),
+    }
 }
 
 /// Like [`forward_capturing`] but stops after processing layer

@@ -1,0 +1,176 @@
+//! Expert health tracking and fault-handling policy for resilient
+//! serving.
+//!
+//! A production MoE server keeps answering queries when a single expert
+//! produces garbage (bit-flipped weights, NaN activations) or its worker
+//! panics. This module provides the bookkeeping for that: a
+//! [`FaultMode`] policy choosing between failing fast and degrading
+//! gracefully, a [`HealthTracker`] recording which `(layer, expert)`
+//! pairs have been quarantined and why, and [`InjectedFault`] hooks the
+//! deterministic fault-injection harness (`milo-faults`) uses to
+//! exercise the recovery paths.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// What the forward pass does when an expert fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// Fail the whole request with a typed
+    /// [`MoeError::ExpertFailed`](crate::MoeError::ExpertFailed).
+    Strict,
+    /// Quarantine the expert, renormalize the router's top-k mass over
+    /// the survivors, and keep serving.
+    Degrade,
+}
+
+/// The kind of fault an [`InjectedFault`] simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The expert's worker panics mid-dispatch.
+    Panic,
+    /// The expert returns an output poisoned with NaN.
+    NanOutput,
+}
+
+/// A deterministic fault wired into a specific expert of a specific
+/// layer, consulted by the resilient forward paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Transformer layer index.
+    pub layer: usize,
+    /// Expert index within the layer (routed experts come first; shared
+    /// experts follow at `n_experts + s`).
+    pub expert: usize,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// Records quarantined experts as `(layer, expert) → reason`.
+///
+/// Shared by the dispatch workers (reads) and the supervising thread
+/// (writes), hence the internal mutex. Quarantine is sticky: once an
+/// expert fails it is skipped by every later token and layer pass.
+#[derive(Debug, Default)]
+pub struct HealthTracker {
+    failed: Mutex<BTreeMap<(usize, usize), String>>,
+}
+
+impl HealthTracker {
+    /// Creates a tracker with every expert healthy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Quarantines an expert. The first recorded reason wins.
+    pub fn record(&self, layer: usize, expert: usize, reason: impl Into<String>) {
+        self.failed
+            .lock()
+            .expect("health tracker lock")
+            .entry((layer, expert))
+            .or_insert_with(|| reason.into());
+    }
+
+    /// Whether the expert has been quarantined.
+    pub fn is_failed(&self, layer: usize, expert: usize) -> bool {
+        self.failed.lock().expect("health tracker lock").contains_key(&(layer, expert))
+    }
+
+    /// Number of quarantined experts.
+    pub fn n_failed(&self) -> usize {
+        self.failed.lock().expect("health tracker lock").len()
+    }
+
+    /// Snapshot of all quarantined experts in `(layer, expert)` order.
+    pub fn failures(&self) -> Vec<((usize, usize), String)> {
+        self.failed
+            .lock()
+            .expect("health tracker lock")
+            .iter()
+            .map(|(&k, v)| (k, v.clone()))
+            .collect()
+    }
+}
+
+/// Everything the resilient forward paths need to decide how to react
+/// to a failing expert: the policy, the quarantine ledger, and any
+/// injected faults driving a test.
+#[derive(Debug)]
+pub struct ResilienceContext {
+    /// Fail-fast or degrade.
+    pub mode: FaultMode,
+    /// Sticky per-expert quarantine ledger.
+    pub health: HealthTracker,
+    /// Faults to simulate, consulted at dispatch time.
+    pub injected: Vec<InjectedFault>,
+}
+
+impl ResilienceContext {
+    /// A context with the given policy, no quarantined experts, and no
+    /// injected faults.
+    pub fn new(mode: FaultMode) -> Self {
+        Self { mode, health: HealthTracker::new(), injected: Vec::new() }
+    }
+
+    /// Shorthand for a fail-fast context.
+    pub fn strict() -> Self {
+        Self::new(FaultMode::Strict)
+    }
+
+    /// Shorthand for a graceful-degradation context.
+    pub fn degrade() -> Self {
+        Self::new(FaultMode::Degrade)
+    }
+
+    /// Adds an injected fault (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, fault: InjectedFault) -> Self {
+        self.injected.push(fault);
+        self
+    }
+
+    /// The fault kind injected into `(layer, expert)`, if any.
+    pub fn injected_kind(&self, layer: usize, expert: usize) -> Option<FaultKind> {
+        self.injected
+            .iter()
+            .find(|f| f.layer == layer && f.expert == expert)
+            .map(|f| f.kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_is_sticky_and_first_reason_wins() {
+        let h = HealthTracker::new();
+        assert!(!h.is_failed(0, 3));
+        h.record(0, 3, "nan output");
+        h.record(0, 3, "second reason");
+        assert!(h.is_failed(0, 3));
+        assert_eq!(h.n_failed(), 1);
+        assert_eq!(h.failures(), vec![((0, 3), "nan output".to_string())]);
+    }
+
+    #[test]
+    fn injected_faults_are_looked_up_by_layer_and_expert() {
+        let ctx = ResilienceContext::degrade()
+            .with_fault(InjectedFault { layer: 1, expert: 2, kind: FaultKind::Panic });
+        assert_eq!(ctx.injected_kind(1, 2), Some(FaultKind::Panic));
+        assert_eq!(ctx.injected_kind(1, 3), None);
+        assert_eq!(ctx.injected_kind(0, 2), None);
+    }
+
+    #[test]
+    fn tracker_is_shared_across_threads() {
+        let h = HealthTracker::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let h = &h;
+                s.spawn(move || h.record(0, i, format!("worker {i}")));
+            }
+        });
+        assert_eq!(h.n_failed(), 4);
+    }
+}

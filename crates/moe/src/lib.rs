@@ -38,6 +38,7 @@ pub mod attention;
 pub mod capture;
 pub mod config;
 pub mod decode;
+pub mod health;
 pub mod mlp;
 pub mod model;
 pub mod profile;
@@ -49,6 +50,7 @@ pub mod tensors;
 pub use capture::{capture_activations, capture_layer_activations, ActivationStore};
 pub use config::MoeConfig;
 pub use decode::DecodeState;
+pub use health::{FaultKind, FaultMode, HealthTracker, InjectedFault, ResilienceContext};
 pub use model::{FfnBlock, MoeBlock, MoeModel, TransformerLayer};
 pub use profile::{profile_expert_frequency, FrequencyProfile};
 pub use tensors::{apply_compressed, layer_tensors};
@@ -70,6 +72,17 @@ pub enum MoeError {
     WeightMismatch(String),
     /// An underlying tensor operation failed.
     Tensor(milo_tensor::TensorError),
+    /// An expert failed during dispatch (panic, non-finite output, or
+    /// tensor error) and the fault mode is
+    /// [`FaultMode::Strict`](health::FaultMode::Strict).
+    ExpertFailed {
+        /// Transformer layer index.
+        layer: usize,
+        /// Expert index within the layer (routed first, then shared).
+        expert: usize,
+        /// Human-readable failure cause.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for MoeError {
@@ -81,6 +94,9 @@ impl std::fmt::Display for MoeError {
             MoeError::InvalidInput(msg) => write!(f, "invalid input: {msg}"),
             MoeError::WeightMismatch(msg) => write!(f, "weight mismatch: {msg}"),
             MoeError::Tensor(e) => write!(f, "tensor error: {e}"),
+            MoeError::ExpertFailed { layer, expert, reason } => {
+                write!(f, "expert {expert} of layer {layer} failed: {reason}")
+            }
         }
     }
 }

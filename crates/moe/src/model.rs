@@ -2,6 +2,7 @@
 
 use crate::attention::{rms_norm, Attention};
 use crate::config::MoeConfig;
+use crate::health::{FaultKind, FaultMode, ResilienceContext};
 use crate::mlp::Mlp;
 use crate::router::Router;
 use crate::{MoeError, Result};
@@ -97,6 +98,179 @@ impl MoeBlock {
         }
         Ok(out)
     }
+
+    /// Fault-tolerant variant of [`MoeBlock::forward_counting`]: experts
+    /// run behind panic isolation ([`pool::try_par_map`]), every expert
+    /// output is checked for non-finite values at the expert boundary,
+    /// and failures are handled per the context's [`FaultMode`]:
+    ///
+    /// * **Strict** — the first failure aborts the request with
+    ///   [`MoeError::ExpertFailed`] naming the layer, expert, and cause.
+    /// * **Degrade** — the expert is quarantined in the health tracker
+    ///   and, for every token that had routed to it, the surviving
+    ///   experts' gates are rescaled so the token keeps its original
+    ///   top-k probability mass. Tokens whose assigned experts all
+    ///   failed lose their routed contribution (shared experts and the
+    ///   residual stream still flow). Tokens untouched by the failure
+    ///   are bit-identical to the non-resilient path.
+    ///
+    /// Shared experts (indexed `n_experts + s` in the health ledger) get
+    /// the same guard; a failed shared expert is dropped without
+    /// rescaling since shared contributions are additive, not gated.
+    ///
+    /// Injected faults from the context fire when the matching expert is
+    /// dispatched, which is how the fault-injection harness exercises
+    /// these paths deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors (dimension mismatch, non-finite router logits)
+    /// always propagate — a sick router poisons every expert, so there
+    /// is nothing to degrade to. Expert failures propagate only in
+    /// strict mode.
+    pub fn forward_resilient(
+        &self,
+        x: &Matrix,
+        layer: usize,
+        ctx: &ResilienceContext,
+    ) -> Result<Matrix> {
+        let (tokens, d) = x.shape();
+        let mut out = Matrix::zeros(tokens, d);
+        let n_experts = self.experts.len();
+
+        let mut assignment: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_experts];
+        for t in 0..tokens {
+            for (e, gate) in self.router.try_route(x.row(t))? {
+                assignment[e].push((t, gate));
+            }
+        }
+
+        let raw = pool::try_par_map(n_experts, |e| {
+            if assignment[e].is_empty() || ctx.health.is_failed(layer, e) {
+                return None;
+            }
+            if ctx.injected_kind(layer, e) == Some(FaultKind::Panic) {
+                panic!("injected fault: expert {e} of layer {layer} killed mid-dispatch");
+            }
+            let toks = &assignment[e];
+            let mut sub = Matrix::zeros(toks.len(), d);
+            for (i, &(t, _)) in toks.iter().enumerate() {
+                sub.row_mut(i).copy_from_slice(x.row(t));
+            }
+            let mut res = self.experts[e].forward(&sub);
+            if ctx.injected_kind(layer, e) == Some(FaultKind::NanOutput) {
+                if let Ok(y) = &mut res {
+                    y.row_mut(0)[0] = f32::NAN;
+                }
+            }
+            Some(res)
+        });
+
+        // Classify outcomes serially so quarantine order is deterministic.
+        let mut outputs: Vec<Option<Matrix>> = Vec::with_capacity(n_experts);
+        for (e, task) in raw.into_iter().enumerate() {
+            let outcome = match task {
+                Err(panic_msg) => Err(panic_msg),
+                Ok(None) => Ok(None),
+                Ok(Some(Err(err))) => Err(format!("tensor error: {err}")),
+                Ok(Some(Ok(y))) if !matrix_is_finite(&y) => {
+                    Err("non-finite output".to_string())
+                }
+                Ok(Some(Ok(y))) => Ok(Some(y)),
+            };
+            match outcome {
+                Ok(maybe) => outputs.push(maybe),
+                Err(reason) => match ctx.mode {
+                    FaultMode::Strict => {
+                        return Err(MoeError::ExpertFailed { layer, expert: e, reason })
+                    }
+                    FaultMode::Degrade => {
+                        ctx.health.record(layer, e, reason);
+                        outputs.push(None);
+                    }
+                },
+            }
+        }
+
+        // Per-token full and surviving gate mass. A quarantined expert
+        // (this call or a previous one) contributes to `full` but not
+        // `alive`; healthy tokens have full == alive so their rescale
+        // factor is exactly 1 and the result stays bit-identical.
+        let mut full = vec![0f32; tokens];
+        let mut alive = vec![0f32; tokens];
+        for (e, toks) in assignment.iter().enumerate() {
+            let survived = outputs[e].is_some();
+            for &(t, g) in toks {
+                full[t] += g;
+                if survived {
+                    alive[t] += g;
+                }
+            }
+        }
+
+        for (e, maybe) in outputs.iter().enumerate() {
+            let Some(y) = maybe else { continue };
+            for (i, &(t, gate)) in assignment[e].iter().enumerate() {
+                let g = if alive[t] == full[t] { gate } else { gate * full[t] / alive[t] };
+                for (o, v) in out.row_mut(t).iter_mut().zip(y.row(i)) {
+                    *o += g * v;
+                }
+            }
+        }
+
+        let shared_raw = pool::try_par_map(self.shared.len(), |s| {
+            let idx = n_experts + s;
+            if ctx.health.is_failed(layer, idx) {
+                return None;
+            }
+            if ctx.injected_kind(layer, idx) == Some(FaultKind::Panic) {
+                panic!(
+                    "injected fault: shared expert {s} of layer {layer} killed mid-dispatch"
+                );
+            }
+            let mut res = self.shared[s].forward(x);
+            if ctx.injected_kind(layer, idx) == Some(FaultKind::NanOutput) {
+                if let Ok(y) = &mut res {
+                    y.row_mut(0)[0] = f32::NAN;
+                }
+            }
+            Some(res)
+        });
+        for (s, task) in shared_raw.into_iter().enumerate() {
+            let idx = n_experts + s;
+            let outcome = match task {
+                Err(panic_msg) => Err(panic_msg),
+                Ok(None) => Ok(None),
+                Ok(Some(Err(err))) => Err(format!("tensor error: {err}")),
+                Ok(Some(Ok(y))) if !matrix_is_finite(&y) => {
+                    Err("non-finite output".to_string())
+                }
+                Ok(Some(Ok(y))) => Ok(Some(y)),
+            };
+            match outcome {
+                Ok(None) => {}
+                Ok(Some(y)) => {
+                    for t in 0..tokens {
+                        for (o, v) in out.row_mut(t).iter_mut().zip(y.row(t)) {
+                            *o += v;
+                        }
+                    }
+                }
+                Err(reason) => match ctx.mode {
+                    FaultMode::Strict => {
+                        return Err(MoeError::ExpertFailed { layer, expert: idx, reason })
+                    }
+                    FaultMode::Degrade => ctx.health.record(layer, idx, reason),
+                },
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Whether every element of a matrix is finite.
+fn matrix_is_finite(m: &Matrix) -> bool {
+    m.as_slice().iter().all(|v| v.is_finite())
 }
 
 /// One transformer layer: attention followed by the FFN block, both with
@@ -277,6 +451,49 @@ impl MoeModel {
     /// See [`MoeModel::forward_counting`].
     pub fn forward(&self, tokens: &[u32]) -> Result<Matrix> {
         self.forward_counting(tokens, None)
+    }
+
+    /// Fault-tolerant forward pass: MoE blocks dispatch through
+    /// [`MoeBlock::forward_resilient`], so a panicking or NaN-producing
+    /// expert either fails the request with a typed
+    /// [`MoeError::ExpertFailed`] (strict) or is quarantined while the
+    /// router's top-k mass renormalizes over the survivors (degrade).
+    ///
+    /// # Errors
+    ///
+    /// See [`MoeModel::forward_counting`] and
+    /// [`MoeBlock::forward_resilient`].
+    pub fn forward_resilient(
+        &self,
+        tokens: &[u32],
+        ctx: &ResilienceContext,
+    ) -> Result<Matrix> {
+        if tokens.is_empty() {
+            return Err(MoeError::InvalidInput("empty token sequence".into()));
+        }
+        let d = self.config.d_model;
+        let mut x = Matrix::zeros(tokens.len(), d);
+        for (i, &t) in tokens.iter().enumerate() {
+            if t as usize >= self.config.vocab {
+                return Err(MoeError::InvalidToken { token: t, vocab: self.config.vocab });
+            }
+            x.row_mut(i).copy_from_slice(self.embed.row(t as usize));
+        }
+
+        for (li, layer) in self.layers.iter().enumerate() {
+            let a = layer.attn.forward(&rms_norm(&x))?;
+            x = x.add(&a)?;
+            let normed = rms_norm(&x);
+            let f = match &layer.ffn {
+                FfnBlock::Dense(mlp) => mlp.forward(&normed)?,
+                FfnBlock::Moe(moe) => moe.forward_resilient(&normed, li, ctx)?,
+            };
+            x = x.add(&f)?;
+        }
+
+        let final_x = rms_norm(&x);
+        let logits = final_x.matmul(&self.head.transpose())?;
+        Ok(logits.scale(self.config.head_gain / (d as f32).sqrt()))
     }
 
     /// Samples a continuation of `prompt` of length `len` at the given
@@ -470,6 +687,142 @@ mod tests {
                 assert_eq!(counts, serial_counts, "threads={t}");
             }
         }
+    }
+
+    #[test]
+    fn resilient_forward_matches_plain_forward_when_healthy() {
+        let m = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 13);
+        let seq = [1u32, 4, 9];
+        let plain = m.forward(&seq).unwrap();
+        for ctx in [ResilienceContext::strict(), ResilienceContext::degrade()] {
+            let res = m.forward_resilient(&seq, &ctx).unwrap();
+            assert_eq!(res.as_slice(), plain.as_slice());
+            assert_eq!(ctx.health.n_failed(), 0);
+        }
+    }
+
+    #[test]
+    fn nan_expert_degrades_to_finite_output_with_renormalized_mass() {
+        let m = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 14);
+        let seq = [1u32, 4, 9, 16];
+        let mut counts = m.fresh_counts();
+        m.forward_counting(&seq, Some(&mut counts)).unwrap();
+        let busiest = counts[0]
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(e, _)| e)
+            .unwrap();
+        let fault = crate::health::InjectedFault {
+            layer: 0,
+            expert: busiest,
+            kind: FaultKind::NanOutput,
+        };
+
+        // Degrade: finite logits, expert quarantined.
+        let ctx = ResilienceContext::degrade().with_fault(fault);
+        let logits = m.forward_resilient(&seq, &ctx).unwrap();
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+        assert!(ctx.health.is_failed(0, busiest));
+        let ((l, e), reason) = ctx.health.failures().remove(0);
+        assert_eq!((l, e), (0, busiest));
+        assert!(reason.contains("non-finite"), "reason = {reason}");
+
+        // Strict: typed error naming the expert.
+        let strict = ResilienceContext::strict().with_fault(fault);
+        match m.forward_resilient(&seq, &strict) {
+            Err(MoeError::ExpertFailed { layer: 0, expert, reason }) => {
+                assert_eq!(expert, busiest);
+                assert!(reason.contains("non-finite"), "reason = {reason}");
+            }
+            other => panic!("expected ExpertFailed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn panicking_expert_is_captured_not_fatal() {
+        let m = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 15);
+        let seq = [2u32, 7, 11];
+        // Kill the busiest expert of layer 1 so the fault is guaranteed
+        // to fire during dispatch.
+        let mut counts = m.fresh_counts();
+        m.forward_counting(&seq, Some(&mut counts)).unwrap();
+        let busiest = counts[1]
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(e, _)| e)
+            .unwrap();
+        let fault =
+            crate::health::InjectedFault { layer: 1, expert: busiest, kind: FaultKind::Panic };
+
+        let ctx = ResilienceContext::degrade().with_fault(fault);
+        let logits = m.forward_resilient(&seq, &ctx).unwrap();
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+        assert!(ctx.health.is_failed(1, busiest));
+
+        let strict = ResilienceContext::strict().with_fault(fault);
+        match m.forward_resilient(&seq, &strict) {
+            Err(MoeError::ExpertFailed { layer: 1, expert, reason }) => {
+                assert_eq!(expert, busiest);
+                assert!(reason.contains("injected fault"), "reason = {reason}");
+            }
+            other => panic!("expected ExpertFailed, got {other:?}"),
+        }
+
+        // The pool (and the model) stay fully usable afterwards.
+        assert_eq!(
+            m.forward(&seq).unwrap().as_slice(),
+            m.forward_resilient(&seq, &ResilienceContext::strict()).unwrap().as_slice()
+        );
+    }
+
+    #[test]
+    fn degraded_tokens_keep_their_topk_mass() {
+        // With top-2 routing and one dead expert, affected tokens run on
+        // the surviving expert with its gate scaled back up to the full
+        // top-k mass — so the output stays in the healthy dynamic range.
+        let cfg = MoeConfig::tiny_mixtral();
+        let m = MoeModel::synthesize(&cfg, 16);
+        let seq: Vec<u32> = (0..12).map(|i| (i * 3) % cfg.vocab as u32).collect();
+        let mut counts = m.fresh_counts();
+        m.forward_counting(&seq, Some(&mut counts)).unwrap();
+        let busiest = counts[0]
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(e, _)| e)
+            .unwrap();
+        let ctx = ResilienceContext::degrade().with_fault(crate::health::InjectedFault {
+            layer: 0,
+            expert: busiest,
+            kind: FaultKind::NanOutput,
+        });
+        let degraded = m.forward_resilient(&seq, &ctx).unwrap();
+        let healthy = m.forward(&seq).unwrap();
+        assert!(degraded.as_slice().iter().all(|v| v.is_finite()));
+        // Degradation perturbs but does not explode the logits.
+        let h_norm: f32 = healthy.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
+        let d_norm: f32 = degraded.as_slice().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!(d_norm < 4.0 * h_norm, "degraded norm {d_norm} vs healthy {h_norm}");
+    }
+
+    #[test]
+    fn shared_expert_failure_degrades_gracefully() {
+        let cfg = MoeConfig::tiny_deepseek();
+        let m = MoeModel::synthesize(&cfg, 17);
+        let seq = [3u32, 8];
+        // Layer 1 is the first MoE layer; shared experts live at
+        // n_experts + s in the health ledger.
+        let idx = cfg.n_experts;
+        let ctx = ResilienceContext::degrade().with_fault(crate::health::InjectedFault {
+            layer: 1,
+            expert: idx,
+            kind: FaultKind::Panic,
+        });
+        let logits = m.forward_resilient(&seq, &ctx).unwrap();
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+        assert!(ctx.health.is_failed(1, idx));
     }
 
     #[test]

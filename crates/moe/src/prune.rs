@@ -50,7 +50,9 @@ pub fn prune_experts(
         }
         // Rank experts by activation frequency, descending.
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&a, &b| freqs[b].partial_cmp(&freqs[a]).expect("finite frequencies"));
+        // Total order so a NaN frequency (e.g. from a zero-token profile)
+        // cannot panic the sort.
+        order.sort_by(|&a, &b| freqs[b].total_cmp(&freqs[a]));
         let mut kept: Vec<usize> = order[..keep].to_vec();
         kept.sort_unstable(); // stable re-indexing
 

@@ -7,6 +7,7 @@
 //! weights are the softmax of their logits renormalized over the top-k,
 //! as in Mixtral.
 
+use crate::{MoeError, Result};
 use milo_tensor::Matrix;
 
 /// A top-k router over `n_experts`.
@@ -45,17 +46,54 @@ impl Router {
     /// Routes one token vector, returning `(expert index, gate weight)`
     /// pairs for the top-k experts. Gate weights are softmax-normalized
     /// over the selected experts and sum to 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token dimension does not match the router weight
+    /// width (a structural invariant of a well-formed model). Use
+    /// [`Router::try_route`] for the fallible variant that also rejects
+    /// non-finite routing logits.
     pub fn route(&self, x: &[f32]) -> Vec<(usize, f32)> {
-        let logits: Vec<f32> = self
+        let logits = self
             .weight
             .matvec(x)
-            .expect("router weight width matches token dim")
-            .iter()
-            .zip(&self.bias)
-            .map(|(l, b)| l + b)
-            .collect();
+            .expect("router weight width matches token dim");
+        self.select(&logits)
+    }
+
+    /// Fallible routing: returns a typed error instead of panicking on a
+    /// dimension mismatch, and rejects non-finite routing logits (a NaN
+    /// or Inf activation reaching the router would otherwise silently
+    /// poison every gate weight downstream).
+    ///
+    /// # Errors
+    ///
+    /// [`MoeError::Tensor`] on a dimension mismatch,
+    /// [`MoeError::InvalidInput`] if any routing logit is non-finite.
+    pub fn try_route(&self, x: &[f32]) -> Result<Vec<(usize, f32)>> {
+        let base = self.weight.matvec(x)?;
+        let logits: Vec<f32> =
+            base.iter().zip(&self.bias).map(|(l, b)| l + b).collect();
+        if let Some(i) = logits.iter().position(|l| !l.is_finite()) {
+            return Err(MoeError::InvalidInput(format!(
+                "non-finite routing logit for expert {i}"
+            )));
+        }
+        Ok(self.pick_top_k(&logits))
+    }
+
+    fn select(&self, base: &[f32]) -> Vec<(usize, f32)> {
+        let logits: Vec<f32> =
+            base.iter().zip(&self.bias).map(|(l, b)| l + b).collect();
+        self.pick_top_k(&logits)
+    }
+
+    /// Top-k selection + softmax over the selected logits. Uses a total
+    /// order so a stray NaN cannot panic the comparator (NaNs sort
+    /// deterministically; `try_route` screens them out before this).
+    fn pick_top_k(&self, logits: &[f32]) -> Vec<(usize, f32)> {
         let mut order: Vec<usize> = (0..logits.len()).collect();
-        order.sort_by(|&a, &b| logits[b].partial_cmp(&logits[a]).expect("finite logits"));
+        order.sort_by(|&a, &b| logits[b].total_cmp(&logits[a]));
         let selected = &order[..self.top_k];
         let max_l = logits[selected[0]];
         let exps: Vec<f32> = selected.iter().map(|&i| (logits[i] - max_l).exp()).collect();
@@ -126,5 +164,26 @@ mod tests {
     #[should_panic(expected = "invalid top_k")]
     fn zero_top_k_panics() {
         let _ = Router::new(Matrix::zeros(4, 8), vec![0.0; 4], 0);
+    }
+
+    #[test]
+    fn try_route_matches_route_on_healthy_input() {
+        let r = router(8, 16, 2, 0.5, 9);
+        let x = vec![0.4; 16];
+        assert_eq!(r.try_route(&x).unwrap(), r.route(&x));
+    }
+
+    #[test]
+    fn try_route_rejects_nan_activations_without_panicking() {
+        let r = router(4, 8, 2, 0.0, 10);
+        let mut x = vec![0.1; 8];
+        x[3] = f32::NAN;
+        assert!(matches!(r.try_route(&x), Err(crate::MoeError::InvalidInput(_))));
+    }
+
+    #[test]
+    fn try_route_rejects_dimension_mismatch() {
+        let r = router(4, 8, 2, 0.0, 11);
+        assert!(matches!(r.try_route(&[0.0; 5]), Err(crate::MoeError::Tensor(_))));
     }
 }

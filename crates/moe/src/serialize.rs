@@ -2,6 +2,13 @@
 //! can be shared between the quantization run and later evaluation runs
 //! (the role the HuggingFace checkpoint directory plays in the paper's
 //! artifact).
+//!
+//! Since version 2 the stream is split into checksummed sections (see
+//! [`milo_tensor::io`]): one for the model header (config + embeddings +
+//! output head) and one per transformer layer. Corruption or truncation
+//! surfaces as a typed [`CorruptSection`](milo_tensor::io::CorruptSection)
+//! error naming the damaged section; version-1 artifacts (no checksums)
+//! are still read.
 
 use crate::attention::Attention;
 use crate::config::MoeConfig;
@@ -9,13 +16,20 @@ use crate::mlp::Mlp;
 use crate::model::{FfnBlock, MoeBlock, MoeModel, TransformerLayer};
 use crate::router::Router;
 use milo_tensor::io::{
-    expect_tag, read_f32, read_f32_vec, read_matrix, read_string, read_u32, read_u64,
-    write_f32, write_f32_slice, write_matrix, write_string, write_tag, write_u32, write_u64,
+    expect_tag, read_f32, read_f32_vec, read_matrix, read_section_lenient, read_string,
+    read_u32, read_u64, write_f32, write_f32_slice, write_matrix, write_section,
+    write_string, write_tag, write_u32, write_u64, IntegrityReport, SectionFault,
+    SectionReport,
 };
-use std::io::{self, Read, Write};
+use std::io::{self, Cursor, Read, Write};
 
 const MAGIC: &[u8; 4] = b"MOEM";
-const VERSION: u32 = 1;
+/// Current format version (checksummed sections).
+const VERSION: u32 = 2;
+/// The pre-checksum format; still accepted by the reader.
+const LEGACY_VERSION: u32 = 1;
+/// Sanity limit on the layer count read from a (possibly corrupt) header.
+const MAX_LAYERS: u64 = 1 << 16;
 
 fn invalid(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
@@ -89,7 +103,110 @@ fn read_mlp(r: &mut impl Read) -> io::Result<Mlp> {
     Ok(Mlp::new(w1, w2, w3))
 }
 
-/// Writes an [`MoeModel`] to a binary stream.
+/// Writes the model-header payload: config, embeddings, output head.
+fn write_header(w: &mut impl Write, model: &MoeModel) -> io::Result<()> {
+    write_config(w, &model.config)?;
+    write_matrix(w, &model.embed)?;
+    write_matrix(w, &model.head)
+}
+
+fn read_header(r: &mut impl Read) -> io::Result<(MoeConfig, milo_tensor::Matrix, milo_tensor::Matrix)> {
+    let config = read_config(r)?;
+    let embed = read_matrix(r)?;
+    let head = read_matrix(r)?;
+    Ok((config, embed, head))
+}
+
+/// Writes one transformer layer's payload (the version-1 layer layout,
+/// which version 2 wraps in a checksummed section).
+fn write_layer(w: &mut impl Write, layer: &TransformerLayer) -> io::Result<()> {
+    for m in [&layer.attn.wq, &layer.attn.wk, &layer.attn.wv, &layer.attn.wo] {
+        write_matrix(w, m)?;
+    }
+    write_u64(w, layer.attn.n_heads() as u64)?;
+    match &layer.ffn {
+        FfnBlock::Dense(mlp) => {
+            write_u32(w, 0)?;
+            write_mlp(w, mlp)?;
+        }
+        FfnBlock::Moe(moe) => {
+            write_u32(w, 1)?;
+            write_matrix(w, &moe.router.weight)?;
+            write_f32_slice(w, &moe.router.bias)?;
+            write_u64(w, moe.router.top_k() as u64)?;
+            write_u64(w, moe.experts.len() as u64)?;
+            for e in &moe.experts {
+                write_mlp(w, e)?;
+            }
+            write_u64(w, moe.shared.len() as u64)?;
+            for s in &moe.shared {
+                write_mlp(w, s)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads one transformer layer's payload.
+fn read_layer(r: &mut impl Read) -> io::Result<TransformerLayer> {
+    let wq = read_matrix(r)?;
+    let wk = read_matrix(r)?;
+    let wv = read_matrix(r)?;
+    let wo = read_matrix(r)?;
+    let n_heads = read_u64(r)? as usize;
+    let d = wq.rows();
+    if wq.shape() != (d, d) || n_heads == 0 || d % n_heads != 0 {
+        return Err(invalid("inconsistent attention shapes"));
+    }
+    let attn = Attention::new(wq, wk, wv, wo, n_heads);
+    let ffn = match read_u32(r)? {
+        0 => FfnBlock::Dense(read_mlp(r)?),
+        1 => {
+            let router_w = read_matrix(r)?;
+            let bias = read_f32_vec(r)?;
+            let top_k = read_u64(r)? as usize;
+            if bias.len() != router_w.rows() || top_k == 0 || top_k > router_w.rows() {
+                return Err(invalid("inconsistent router"));
+            }
+            let router = Router::new(router_w, bias, top_k);
+            let n_experts = read_u64(r)? as usize;
+            let mut experts = Vec::with_capacity(n_experts.min(1 << 16));
+            for _ in 0..n_experts {
+                experts.push(read_mlp(r)?);
+            }
+            let n_shared = read_u64(r)? as usize;
+            let mut shared = Vec::with_capacity(n_shared.min(1 << 16));
+            for _ in 0..n_shared {
+                shared.push(read_mlp(r)?);
+            }
+            if experts.len() != router.n_experts() {
+                return Err(invalid("router/expert count mismatch"));
+            }
+            FfnBlock::Moe(MoeBlock { router, experts, shared })
+        }
+        other => return Err(invalid(format!("unknown FFN tag {other}"))),
+    };
+    Ok(TransformerLayer { attn, ffn })
+}
+
+fn read_layer_count(r: &mut impl Read) -> io::Result<usize> {
+    let n = read_u64(r)?;
+    if n > MAX_LAYERS {
+        return Err(invalid("layer count exceeds sanity limit"));
+    }
+    Ok(n as usize)
+}
+
+fn expect_eof(r: &mut impl Read) -> io::Result<()> {
+    let mut probe = [0u8; 1];
+    match r.read(&mut probe)? {
+        0 => Ok(()),
+        _ => Err(invalid("trailing data after final layer (corrupt layer count?)")),
+    }
+}
+
+/// Writes an [`MoeModel`] to a binary stream (current format: version 2,
+/// checksummed sections).
 ///
 /// # Errors
 ///
@@ -97,99 +214,150 @@ fn read_mlp(r: &mut impl Read) -> io::Result<Mlp> {
 pub fn write_model(w: &mut impl Write, model: &MoeModel) -> io::Result<()> {
     write_tag(w, MAGIC)?;
     write_u32(w, VERSION)?;
-    write_config(w, &model.config)?;
-    write_matrix(w, &model.embed)?;
-    write_matrix(w, &model.head)?;
+    let mut header = Vec::new();
+    write_header(&mut header, model)?;
+    write_section(w, &header)?;
     write_u64(w, model.layers.len() as u64)?;
     for layer in &model.layers {
-        for m in [&layer.attn.wq, &layer.attn.wk, &layer.attn.wv, &layer.attn.wo] {
-            write_matrix(w, m)?;
-        }
-        write_u64(w, layer.attn.n_heads() as u64)?;
-        match &layer.ffn {
-            FfnBlock::Dense(mlp) => {
-                write_u32(w, 0)?;
-                write_mlp(w, mlp)?;
-            }
-            FfnBlock::Moe(moe) => {
-                write_u32(w, 1)?;
-                write_matrix(w, &moe.router.weight)?;
-                write_f32_slice(w, &moe.router.bias)?;
-                write_u64(w, moe.router.top_k() as u64)?;
-                write_u64(w, moe.experts.len() as u64)?;
-                for e in &moe.experts {
-                    write_mlp(w, e)?;
-                }
-                write_u64(w, moe.shared.len() as u64)?;
-                for s in &moe.shared {
-                    write_mlp(w, s)?;
-                }
-            }
-        }
+        let mut payload = Vec::new();
+        write_layer(&mut payload, layer)?;
+        write_section(w, &payload)?;
     }
     Ok(())
 }
 
-/// Reads an [`MoeModel`] from a binary stream.
+/// Writes an [`MoeModel`] in the legacy version-1 layout (no checksums).
+/// Kept for compatibility tests; new code should use [`write_model`].
+///
+/// # Errors
+///
+/// Propagates IO failures.
+pub fn write_model_v1(w: &mut impl Write, model: &MoeModel) -> io::Result<()> {
+    write_tag(w, MAGIC)?;
+    write_u32(w, LEGACY_VERSION)?;
+    write_header(w, model)?;
+    write_u64(w, model.layers.len() as u64)?;
+    for layer in &model.layers {
+        write_layer(w, layer)?;
+    }
+    Ok(())
+}
+
+/// Reads an [`MoeModel`] from a binary stream (versions 1 and 2).
 ///
 /// # Errors
 ///
 /// Returns `InvalidData` for malformed input or unsupported versions.
+/// For version-2 artifacts a checksum failure or truncation surfaces as
+/// a typed [`CorruptSection`](milo_tensor::io::CorruptSection) naming
+/// the damaged section.
 pub fn read_model(r: &mut impl Read) -> io::Result<MoeModel> {
     expect_tag(r, MAGIC)?;
     let version = read_u32(r)?;
+    match version {
+        LEGACY_VERSION => {
+            let (config, embed, head) = read_header(r)?;
+            let n_layers = read_layer_count(r)?;
+            let mut layers = Vec::with_capacity(n_layers);
+            for _ in 0..n_layers {
+                layers.push(read_layer(r)?);
+            }
+            Ok(MoeModel { config, embed, head, layers })
+        }
+        VERSION => {
+            let header = read_checked_section(r, "model header")?;
+            let (config, embed, head) = read_header(&mut Cursor::new(header))?;
+            let n_layers = read_layer_count(r)?;
+            let mut layers = Vec::with_capacity(n_layers);
+            for i in 0..n_layers {
+                let payload = read_checked_section(r, &format!("layer {i}"))?;
+                let layer = read_layer(&mut Cursor::new(payload))
+                    .map_err(|e| invalid(format!("layer {i}: {e}")))?;
+                layers.push(layer);
+            }
+            expect_eof(r)?;
+            Ok(MoeModel { config, embed, head, layers })
+        }
+        other => Err(invalid(format!("unsupported model format version {other}"))),
+    }
+}
+
+/// Reads a section and promotes a checksum mismatch to an error.
+fn read_checked_section(r: &mut impl Read, name: &str) -> io::Result<Vec<u8>> {
+    let (payload, fault) = read_section_lenient(r, name)?;
+    match fault {
+        None => Ok(payload),
+        Some(c) => Err(c.into()),
+    }
+}
+
+/// Walks a model stream verifying every section checksum without
+/// materializing the model, reporting per-section integrity. Keeps
+/// scanning past checksum mismatches; stops only on truncation.
+///
+/// # Errors
+///
+/// Returns `InvalidData` only if the stream is not a `MOEM` artifact at
+/// all (bad magic / unknown version / implausible layer count).
+pub fn verify_model_stream(r: &mut impl Read) -> io::Result<IntegrityReport> {
+    expect_tag(r, MAGIC)?;
+    let version = read_u32(r)?;
+    if version == LEGACY_VERSION {
+        return Ok(IntegrityReport {
+            version,
+            checksummed: false,
+            sections: Vec::new(),
+            trailing_data: false,
+        });
+    }
     if version != VERSION {
         return Err(invalid(format!("unsupported model format version {version}")));
     }
-    let config = read_config(r)?;
-    let embed = read_matrix(r)?;
-    let head = read_matrix(r)?;
-    let n_layers = read_u64(r)? as usize;
-    if n_layers > 1 << 16 {
-        return Err(invalid("layer count exceeds sanity limit"));
-    }
-    let mut layers = Vec::with_capacity(n_layers);
-    for _ in 0..n_layers {
-        let wq = read_matrix(r)?;
-        let wk = read_matrix(r)?;
-        let wv = read_matrix(r)?;
-        let wo = read_matrix(r)?;
-        let n_heads = read_u64(r)? as usize;
-        let d = wq.rows();
-        if wq.shape() != (d, d) || n_heads == 0 || d % n_heads != 0 {
-            return Err(invalid("inconsistent attention shapes"));
-        }
-        let attn = Attention::new(wq, wk, wv, wo, n_heads);
-        let ffn = match read_u32(r)? {
-            0 => FfnBlock::Dense(read_mlp(r)?),
-            1 => {
-                let router_w = read_matrix(r)?;
-                let bias = read_f32_vec(r)?;
-                let top_k = read_u64(r)? as usize;
-                if bias.len() != router_w.rows() || top_k == 0 || top_k > router_w.rows() {
-                    return Err(invalid("inconsistent router"));
-                }
-                let router = Router::new(router_w, bias, top_k);
-                let n_experts = read_u64(r)? as usize;
-                let mut experts = Vec::with_capacity(n_experts.min(1 << 16));
-                for _ in 0..n_experts {
-                    experts.push(read_mlp(r)?);
-                }
-                let n_shared = read_u64(r)? as usize;
-                let mut shared = Vec::with_capacity(n_shared.min(1 << 16));
-                for _ in 0..n_shared {
-                    shared.push(read_mlp(r)?);
-                }
-                if experts.len() != router.n_experts() {
-                    return Err(invalid("router/expert count mismatch"));
-                }
-                FfnBlock::Moe(MoeBlock { router, experts, shared })
+    fn scan<R: Read>(
+        r: &mut R,
+        name: String,
+        sections: &mut Vec<SectionReport>,
+    ) -> bool {
+        match read_section_lenient(r, &name) {
+            Ok((payload, fault)) => {
+                sections.push(SectionReport {
+                    name,
+                    bytes: payload.len() as u64,
+                    fault: fault.map(|f| f.fault),
+                });
+                true
             }
-            other => return Err(invalid(format!("unknown FFN tag {other}"))),
-        };
-        layers.push(TransformerLayer { attn, ffn });
+            Err(e) => {
+                let fault = milo_tensor::io::corrupt_section_info(&e)
+                    .map(|c| c.fault.clone())
+                    .unwrap_or(SectionFault::Truncated);
+                sections.push(SectionReport { name, bytes: 0, fault: Some(fault) });
+                false
+            }
+        }
     }
-    Ok(MoeModel { config, embed, head, layers })
+    let mut sections = Vec::new();
+    if !scan(r, "model header".to_string(), &mut sections) {
+        return Ok(IntegrityReport { version, checksummed: true, sections, trailing_data: false });
+    }
+    let n_layers = match read_layer_count(r) {
+        Ok(n) => n,
+        Err(_) => {
+            sections.push(SectionReport {
+                name: "layer table".to_string(),
+                bytes: 0,
+                fault: Some(SectionFault::Truncated),
+            });
+            return Ok(IntegrityReport { version, checksummed: true, sections, trailing_data: false });
+        }
+    };
+    for i in 0..n_layers {
+        if !scan(r, format!("layer {i}"), &mut sections) {
+            return Ok(IntegrityReport { version, checksummed: true, sections, trailing_data: false });
+        }
+    }
+    let trailing_data = expect_eof(r).is_err();
+    Ok(IntegrityReport { version, checksummed: true, sections, trailing_data })
 }
 
 /// Saves a model to a file.
@@ -215,6 +383,7 @@ pub fn load_model(path: &std::path::Path) -> io::Result<MoeModel> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use milo_tensor::io::corrupt_section_info;
     use std::io::Cursor;
 
     #[test]
@@ -239,12 +408,51 @@ mod tests {
     }
 
     #[test]
+    fn legacy_v1_artifacts_still_read() {
+        let model = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 9);
+        let mut v1 = Vec::new();
+        write_model_v1(&mut v1, &model).unwrap();
+        assert_eq!(v1[4], LEGACY_VERSION as u8);
+        assert_eq!(read_model(&mut Cursor::new(v1)).unwrap(), model);
+    }
+
+    #[test]
     fn corrupt_magic_is_rejected() {
         let model = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 5);
         let mut buf = Vec::new();
         write_model(&mut buf, &model).unwrap();
         buf[1] = b'X';
         assert!(read_model(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn corrupt_layer_section_is_a_typed_error() {
+        let model = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 6);
+        let mut buf = Vec::new();
+        write_model(&mut buf, &model).unwrap();
+        let off = buf.len() - 20;
+        buf[off] ^= 0x01;
+        let err = read_model(&mut Cursor::new(buf)).unwrap_err();
+        let info = corrupt_section_info(&err).expect("typed CorruptSection");
+        assert!(info.section.starts_with("layer "), "section = {}", info.section);
+    }
+
+    #[test]
+    fn verify_reports_sections_and_damage() {
+        let model = MoeModel::synthesize(&MoeConfig::tiny_mixtral(), 7);
+        let mut buf = Vec::new();
+        write_model(&mut buf, &model).unwrap();
+        let clean = verify_model_stream(&mut Cursor::new(&buf[..])).unwrap();
+        assert!(clean.is_ok());
+        assert_eq!(clean.sections.len(), 1 + model.layers.len());
+        assert_eq!(clean.sections[0].name, "model header");
+
+        let mut bad = buf.clone();
+        let last = bad.len() - 30;
+        bad[last] ^= 0x80;
+        let report = verify_model_stream(&mut Cursor::new(&bad[..])).unwrap();
+        assert!(!report.is_ok());
+        assert_eq!(report.n_corrupt(), 1);
     }
 
     #[test]

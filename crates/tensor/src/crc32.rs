@@ -1,0 +1,127 @@
+//! Vendored CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`).
+//!
+//! The artifact formats (`MILO`, `MOEM`) carry a per-section checksum so
+//! a flipped bit or a truncated download is reported as a typed error
+//! naming the damaged section instead of silently producing garbage
+//! weights. CRC-32 detects *every* burst error of up to 32 bits — in
+//! particular every single-byte corruption — which is exactly the fault
+//! class the serving core must never mistake for valid data. Vendored
+//! here per the workspace's zero-external-dependency policy (PR 1).
+
+/// The reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ POLY } else { crc >> 1 };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// A streaming CRC-32 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use milo_tensor::crc32::Crc32;
+///
+/// let mut h = Crc32::new();
+/// h.update(b"1234");
+/// h.update(b"56789");
+/// assert_eq!(h.finalize(), 0xCBF4_3926);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Self { state: 0xFFFF_FFFF }
+    }
+
+    /// Feeds bytes into the checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// Returns the checksum of everything fed so far.
+    pub fn finalize(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut h = Crc32::new();
+    h.update(bytes);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_answer_check() {
+        // The canonical CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(1000).collect();
+        for split in [0, 1, 499, 999, 1000] {
+            let mut h = Crc32::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), crc32(&data), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_changes_the_checksum() {
+        let data = b"a small weight section payload".to_vec();
+        let clean = crc32(&data);
+        for offset in 0..data.len() {
+            for xor in [0x01u8, 0x80, 0xFF] {
+                let mut bad = data.clone();
+                bad[offset] ^= xor;
+                assert_ne!(crc32(&bad), clean, "flip at {offset} xor {xor:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_changes_the_checksum() {
+        let data: Vec<u8> = (0u8..=200).collect();
+        let clean = crc32(&data);
+        for cut in 0..data.len() {
+            assert_ne!(crc32(&data[..cut]), clean, "truncated to {cut}");
+        }
+    }
+}

@@ -4,8 +4,220 @@
 //! are built from these; keeping them here avoids a serde dependency for
 //! what is a handful of fixed-layout records.
 
+use crate::crc32::crc32;
 use crate::Matrix;
 use std::io::{self, Read, Write};
+
+/// Upper bound on a framed section's payload length; corrupt length
+/// headers must not trigger multi-gigabyte allocations.
+pub const MAX_SECTION_BYTES: u64 = 1 << 32;
+
+/// How a framed section failed validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SectionFault {
+    /// The stored CRC-32 does not match the payload.
+    ChecksumMismatch {
+        /// Checksum recorded in the stream.
+        stored: u32,
+        /// Checksum computed over the payload actually read.
+        computed: u32,
+    },
+    /// The stream ended before the declared payload length.
+    Truncated,
+    /// The declared payload length exceeds [`MAX_SECTION_BYTES`].
+    OversizedLength(u64),
+}
+
+/// Typed error for a damaged artifact section, naming the section (for
+/// model artifacts: the offending layer) so callers and operators know
+/// *what* is corrupt, not just that something is.
+///
+/// Readers surface this wrapped in an [`io::Error`] of kind
+/// `InvalidData`; use [`corrupt_section_info`] to recover the structured
+/// form from a propagated error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CorruptSection {
+    /// Human-readable section name (e.g. `layer 3 (layer0.expert1.w1)`).
+    pub section: String,
+    /// What exactly failed.
+    pub fault: SectionFault,
+}
+
+impl std::fmt::Display for SectionFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SectionFault::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
+            SectionFault::Truncated => write!(f, "truncated"),
+            SectionFault::OversizedLength(n) => {
+                write!(f, "implausible length ({n} bytes)")
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for CorruptSection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.fault {
+            SectionFault::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "section `{}` is corrupt: checksum mismatch (stored {stored:#010x}, computed {computed:#010x})",
+                self.section
+            ),
+            SectionFault::Truncated => {
+                write!(f, "section `{}` is truncated", self.section)
+            }
+            SectionFault::OversizedLength(n) => write!(
+                f,
+                "section `{}` declares an implausible length of {n} bytes",
+                self.section
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CorruptSection {}
+
+impl From<CorruptSection> for io::Error {
+    fn from(c: CorruptSection) -> Self {
+        io::Error::new(io::ErrorKind::InvalidData, c)
+    }
+}
+
+/// Recovers the structured [`CorruptSection`] from an [`io::Error`]
+/// produced by a section reader, if that is what it carries.
+pub fn corrupt_section_info(e: &io::Error) -> Option<&CorruptSection> {
+    e.get_ref().and_then(|inner| inner.downcast_ref::<CorruptSection>())
+}
+
+/// Writes a framed section: `u64` payload length, `u32` CRC-32 of the
+/// payload, then the payload bytes.
+pub fn write_section(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    write_u64(w, payload.len() as u64)?;
+    write_u32(w, crc32(payload))?;
+    w.write_all(payload)
+}
+
+/// Reads a framed section written by [`write_section`], validating the
+/// checksum. `section` names the section in any [`CorruptSection`] error.
+///
+/// # Errors
+///
+/// Returns an `InvalidData` error carrying a [`CorruptSection`] when the
+/// declared length is implausible, the stream ends early, or the
+/// checksum does not match; propagates other IO failures.
+pub fn read_section(r: &mut impl Read, section: &str) -> io::Result<Vec<u8>> {
+    match read_section_lenient(r, section)? {
+        (payload, None) => Ok(payload),
+        (_, Some(fault)) => Err(fault.into()),
+    }
+}
+
+/// Like [`read_section`], but a checksum mismatch is returned as data —
+/// `(payload, Some(fault))` — instead of an error, so integrity scanners
+/// can report the damage *and keep walking the stream* (the framing is
+/// still intact when only payload bytes are wrong). Truncation and
+/// oversized lengths still error: past those the stream cannot be
+/// followed.
+///
+/// # Errors
+///
+/// Returns `CorruptSection` (wrapped in `InvalidData`) for truncation or
+/// an implausible length; propagates other IO failures.
+pub fn read_section_lenient(
+    r: &mut impl Read,
+    section: &str,
+) -> io::Result<(Vec<u8>, Option<CorruptSection>)> {
+    let fault = |fault: SectionFault| -> io::Error {
+        CorruptSection { section: section.to_string(), fault }.into()
+    };
+    let len = read_u64(r).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            fault(SectionFault::Truncated)
+        } else {
+            e
+        }
+    })?;
+    if len > MAX_SECTION_BYTES {
+        return Err(fault(SectionFault::OversizedLength(len)));
+    }
+    let stored = read_u32(r).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            fault(SectionFault::Truncated)
+        } else {
+            e
+        }
+    })?;
+    // Grow the buffer only as data actually arrives: a corrupt length
+    // header below the cap must fail fast on truncation, not allocate
+    // gigabytes up front.
+    let mut payload = Vec::with_capacity((len as usize).min(1 << 20));
+    let mut chunk = [0u8; 64 * 1024];
+    let mut remaining = len as usize;
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        r.read_exact(&mut chunk[..take]).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                fault(SectionFault::Truncated)
+            } else {
+                e
+            }
+        })?;
+        payload.extend_from_slice(&chunk[..take]);
+        remaining -= take;
+    }
+    let computed = crc32(&payload);
+    if computed != stored {
+        let c = CorruptSection {
+            section: section.to_string(),
+            fault: SectionFault::ChecksumMismatch { stored, computed },
+        };
+        return Ok((payload, Some(c)));
+    }
+    Ok((payload, None))
+}
+
+/// Integrity status of one framed section, as reported by an artifact
+/// verifier (`milo-cli check`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SectionReport {
+    /// Section name (for model artifacts, the layer it holds).
+    pub name: String,
+    /// Payload length in bytes.
+    pub bytes: u64,
+    /// `None` when the checksum verified; the fault otherwise.
+    pub fault: Option<SectionFault>,
+}
+
+/// Whole-artifact integrity report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Format version found in the artifact header.
+    pub version: u32,
+    /// Whether the format version carries checksums at all (v1 legacy
+    /// artifacts do not; they can be read but not verified).
+    pub checksummed: bool,
+    /// Per-section status, in stream order. Scanning stops early only on
+    /// faults that make the framing unfollowable (truncation).
+    pub sections: Vec<SectionReport>,
+    /// Bytes found after the final section (corrupt layer count or
+    /// appended garbage).
+    pub trailing_data: bool,
+}
+
+impl IntegrityReport {
+    /// Whether every section verified and no trailing bytes were found.
+    pub fn is_ok(&self) -> bool {
+        !self.trailing_data && self.sections.iter().all(|s| s.fault.is_none())
+    }
+
+    /// Number of damaged sections.
+    pub fn n_corrupt(&self) -> usize {
+        self.sections.iter().filter(|s| s.fault.is_some()).count()
+    }
+}
 
 /// Writes a 4-byte section tag.
 pub fn write_tag(w: &mut impl Write, tag: &[u8; 4]) -> io::Result<()> {
@@ -210,5 +422,55 @@ mod tests {
         let mut buf = Vec::new();
         write_u64(&mut buf, u64::MAX).unwrap();
         assert!(read_string(&mut Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn section_round_trips() {
+        let payload = b"some layer record bytes".to_vec();
+        let mut buf = Vec::new();
+        write_section(&mut buf, &payload).unwrap();
+        let out = read_section(&mut Cursor::new(buf), "layer 0").unwrap();
+        assert_eq!(out, payload);
+    }
+
+    #[test]
+    fn corrupt_section_is_a_typed_checksum_error() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, b"payload-payload-payload").unwrap();
+        let last = buf.len() - 1;
+        buf[last] ^= 0x10;
+        let err = read_section(&mut Cursor::new(buf), "layer 7 (w1)").unwrap_err();
+        let info = corrupt_section_info(&err).expect("typed CorruptSection");
+        assert_eq!(info.section, "layer 7 (w1)");
+        assert!(matches!(info.fault, SectionFault::ChecksumMismatch { .. }));
+        assert!(err.to_string().contains("layer 7 (w1)"));
+    }
+
+    #[test]
+    fn truncated_section_is_a_typed_truncation_error() {
+        let mut buf = Vec::new();
+        write_section(&mut buf, &[7u8; 100]).unwrap();
+        for cut in 0..buf.len() {
+            let err = read_section(&mut Cursor::new(&buf[..cut]), "s").unwrap_err();
+            let info = corrupt_section_info(&err)
+                .unwrap_or_else(|| panic!("cut {cut}: untyped error {err}"));
+            assert!(
+                matches!(
+                    info.fault,
+                    SectionFault::Truncated | SectionFault::ChecksumMismatch { .. }
+                ),
+                "cut {cut}: {info:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_section_length_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, MAX_SECTION_BYTES + 1).unwrap();
+        write_u32(&mut buf, 0).unwrap();
+        let err = read_section(&mut Cursor::new(buf), "s").unwrap_err();
+        let info = corrupt_section_info(&err).unwrap();
+        assert!(matches!(info.fault, SectionFault::OversizedLength(_)));
     }
 }

@@ -25,6 +25,10 @@
 //!   run on, with bit-identical results at every thread count.
 //! * [`stats`] — kurtosis, Frobenius norms, and the residual-rank measure
 //!   from paper Table 2.
+//! * [`crc32`] — vendored CRC-32 for the checksummed artifact sections;
+//!   [`io`] builds length+checksum framed sections on top of it so the
+//!   serving core detects corruption/truncation instead of loading
+//!   garbage weights.
 //! * [`linalg`] — Householder QR, one-sided Jacobi SVD, randomized
 //!   truncated SVD (the role `torch.svd_lowrank` plays in the paper's
 //!   implementation, Appendix B), and Cholesky factorization (used by the
@@ -32,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod crc32;
 pub mod half;
 pub mod io;
 pub mod linalg;

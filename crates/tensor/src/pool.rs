@@ -24,6 +24,7 @@
 //! environment mutation and cannot race across test threads.
 
 use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::OnceLock;
 
 /// Upper bound on the thread count accepted from the environment or
@@ -88,6 +89,49 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     f()
 }
 
+/// Joins a scoped worker, re-raising the worker's *original* panic
+/// payload (message included) on the joining thread instead of a
+/// second-hand "worker panicked" message that hides the cause.
+fn join_propagating<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    match h.join() {
+        Ok(v) => v,
+        Err(payload) => panic::resume_unwind(payload),
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+thread_local! {
+    /// Set while a task body runs under [`try_par_map`]; the panic hook
+    /// stays quiet for these, since the panic is captured and returned
+    /// as a value rather than propagated.
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that suppresses output for
+/// panics captured by [`try_par_map`] and delegates to the previous hook
+/// otherwise.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(Cell::get) {
+                prev(info);
+            }
+        }));
+    });
+}
+
 /// RAII guard that marks the current thread as executing a pool task.
 struct TaskGuard(bool);
 
@@ -140,7 +184,7 @@ pub fn parallel_for(tasks: usize, body: impl Fn(usize) + Sync) {
             }
         }
         for h in handles {
-            h.join().expect("pool worker panicked");
+            join_propagating(h);
         }
     });
 }
@@ -168,7 +212,7 @@ pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
             (0..chunk.min(n)).map(f).collect::<Vec<T>>()
         };
         let mut out = vec![head];
-        out.extend(handles.into_iter().map(|h| h.join().expect("pool worker panicked")));
+        out.extend(handles.into_iter().map(join_propagating));
         out
     });
     let mut flat = Vec::with_capacity(n);
@@ -176,6 +220,35 @@ pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         flat.append(c);
     }
     flat
+}
+
+/// Like [`par_map`], but panics in `f` are *captured per task* instead of
+/// tearing down the process: index `i` maps to `Err(message)` carrying
+/// the original panic message when `f(i)` panics, `Ok(value)` otherwise.
+///
+/// This is the isolation primitive MoE expert dispatch uses — one
+/// poisoned expert becomes a per-expert failure the router can degrade
+/// around, while the pool, the scope, and every other expert's result
+/// stay usable. Captured panics are suppressed from the global panic
+/// hook (no spurious backtrace spew); everything else about scheduling
+/// and nesting matches [`par_map`].
+pub fn try_par_map<T: Send>(
+    n: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<std::result::Result<T, String>> {
+    install_quiet_hook();
+    let guarded = |i: usize| -> std::result::Result<T, String> {
+        struct Quiet(bool);
+        impl Drop for Quiet {
+            fn drop(&mut self) {
+                CAPTURING.with(|c| c.set(self.0));
+            }
+        }
+        let _quiet = Quiet(CAPTURING.with(|c| c.replace(true)));
+        panic::catch_unwind(AssertUnwindSafe(|| f(i)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    };
+    par_map(n, guarded)
 }
 
 /// Splits `data` into consecutive chunks of `chunk_len` elements (the
@@ -239,7 +312,7 @@ pub fn parallel_chunks_mut<T: Send>(
             }
         }
         for h in handles {
-            h.join().expect("pool worker panicked");
+            join_propagating(h);
         }
     });
 }
@@ -337,5 +410,53 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn worker_panic_reraises_the_original_message() {
+        let r = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                parallel_for(8, |i| {
+                    // Panic on a worker-thread index (not the caller's
+                    // chunk) so the join path is what re-raises.
+                    if i == 7 {
+                        panic!("expert 7 exploded: {}", 6 * 7);
+                    }
+                })
+            })
+        });
+        let payload = r.unwrap_err();
+        assert_eq!(panic_message(payload.as_ref()), "expert 7 exploded: 42");
+    }
+
+    #[test]
+    fn try_par_map_isolates_panics_per_task() {
+        for t in [1, 2, 4, 7] {
+            let out = with_threads(t, || {
+                try_par_map(9, |i| {
+                    if i % 4 == 2 {
+                        panic!("task {i} failed");
+                    }
+                    i * 10
+                })
+            });
+            assert_eq!(out.len(), 9, "threads={t}");
+            for (i, r) in out.iter().enumerate() {
+                if i % 4 == 2 {
+                    assert_eq!(r.clone().unwrap_err(), format!("task {i} failed"));
+                } else {
+                    assert_eq!(*r, Ok(i * 10), "threads={t}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_stays_usable_after_captured_panics() {
+        let bad = with_threads(4, || try_par_map(4, |i| -> usize { panic!("down {i}") }));
+        assert!(bad.iter().all(|r| r.is_err()));
+        // The pool (and process) survive: a follow-up parallel call works.
+        let good = with_threads(4, || par_map(16, |i| i + 1));
+        assert_eq!(good, (1..=16).collect::<Vec<_>>());
     }
 }
