@@ -18,7 +18,18 @@
 //!
 //! # Verify artifact integrity (checksums, per-layer status):
 //! milo-cli check --artifact compressed.milo [--strict]
+//!
+//! # Run forwards on the packed engine and print the telemetry report
+//! # (per-layer latency percentiles, per-expert activations, load skew):
+//! milo-cli stats --model ref.moem --compressed compressed.milo [--trace-out trace.json]
+//!
+//! # Validate a Chrome trace produced by --trace-out / MILO_TELEMETRY=trace:
+//! milo-cli trace-check --trace trace.json --require engine.forward,engine.layer
 //! ```
+//!
+//! Every command honors `MILO_TELEMETRY` (`1`/`metrics`, `trace`); the
+//! `--trace-out FILE` flag on `quantize`, `eval`, and `stats` forces
+//! trace level and writes Chrome trace-event JSON on success.
 
 use milo_bench::methods::{run_gptq_full, run_milo, run_rtn};
 use milo_bench::Args;
@@ -43,7 +54,16 @@ fn usage() -> ExitCode {
          info      --compressed FILE\n  \
          check     --artifact FILE [--strict]   (verify MILO/MOEM checksums; \
 --strict also rejects\n            \
-                   unchecksummed legacy artifacts and trailing data)"
+                   unchecksummed legacy artifacts and trailing data)\n  \
+         stats     --model FILE --compressed FILE [--seqs n] [--seq-len n] [--seed n]\n            \
+                   (run packed-engine forwards, print telemetry: per-layer latency\n            \
+                   percentiles, per-expert activations, load skew, quarantines)\n  \
+         trace-check --trace FILE [--require prefix,prefix,...]\n            \
+                   (validate Chrome trace JSON: well-formed, monotonic timestamps,\n            \
+                   >=1 span per required prefix)\n\
+         \n\
+         quantize/eval/stats also accept --trace-out FILE (write Chrome trace JSON;\n\
+         implies MILO_TELEMETRY=trace)"
     );
     ExitCode::from(2)
 }
@@ -55,14 +75,33 @@ fn main() -> ExitCode {
     }
     let command = argv.remove(0);
     let args = Args::from_iter(argv);
+
+    // --trace-out implies trace-level telemetry for the whole run;
+    // `stats` always needs at least metrics to have anything to print.
+    let trace_out = args.get("trace-out").map(str::to_string);
+    if trace_out.is_some() {
+        milo_obs::set_level(milo_obs::Level::Trace);
+    } else if command == "stats" && !milo_obs::enabled() {
+        milo_obs::set_level(milo_obs::Level::Metrics);
+    }
+
     let result = match command.as_str() {
         "synth" => cmd_synth(&args),
         "quantize" => cmd_quantize(&args),
         "eval" => cmd_eval(&args),
         "info" => cmd_info(&args),
         "check" => cmd_check(&args),
+        "stats" => cmd_stats(&args),
+        "trace-check" => cmd_trace_check(&args),
         _ => return usage(),
     };
+    let result = result.and_then(|()| {
+        if let Some(path) = &trace_out {
+            std::fs::write(path, milo_obs::trace::export_chrome())?;
+            println!("wrote Chrome trace ({} events) -> {path}", milo_obs::trace::event_count());
+        }
+        Ok(())
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -262,6 +301,102 @@ fn cmd_check(args: &Args) -> Result<(), CliError> {
     println!(
         "integrity ok: {} section(s) verified",
         if report.checksummed { report.sections.len() } else { 0 }
+    );
+    Ok(())
+}
+
+/// Runs forward passes on the packed engine and prints the telemetry
+/// report: per-layer latency percentiles, per-expert activation counts,
+/// live load-skew gauges, and the quarantine count — the observability
+/// walkthrough of a serving run.
+fn cmd_stats(args: &Args) -> Result<(), CliError> {
+    use milo_obs::MetricSnapshot;
+
+    let model_path = required(args, "model")?;
+    let compressed_path = required(args, "compressed")?;
+    let n_seqs = args.get_u64("seqs").unwrap_or(4) as usize;
+    let seq_len = args.get_u64("seq-len").unwrap_or(16) as usize;
+    let seed = args.get_u64("seed").unwrap_or(2024);
+
+    let reference = load_model(Path::new(model_path))?;
+    let compressed = load_compressed_model(Path::new(compressed_path))?;
+    let packed = milo_engine::PackedMoeModel::build(&reference, &compressed)?;
+    let corpus = generate_corpus(&reference, n_seqs, seq_len, seed)?;
+
+    eprintln!("running {n_seqs} forward passes ({seq_len} tokens each)...");
+    for seq in &corpus {
+        packed.forward(seq)?;
+    }
+
+    // Per-layer forward latency percentiles.
+    let layers = milo_obs::registry::snapshot_prefixed("engine.layer");
+    if !layers.is_empty() {
+        let mut t = Table::new(["layer", "count", "p50", "p95", "p99", "mean"]);
+        for (key, m) in &layers {
+            let MetricSnapshot::Histogram(h) = m else { continue };
+            t.push_row([
+                key.clone(),
+                h.count.to_string(),
+                h.format(h.p50),
+                h.format(h.p95),
+                h.format(h.p99),
+                h.format(h.mean.round() as u64),
+            ]);
+        }
+        println!("per-layer forward latency:\n{}", t.render());
+    }
+
+    // Per-expert activation counts with a share column.
+    let experts = milo_obs::registry::snapshot_prefixed("engine.expert_tokens");
+    let total: u64 = experts
+        .iter()
+        .filter_map(|(_, m)| match m {
+            MetricSnapshot::Counter(v) => Some(*v),
+            _ => None,
+        })
+        .sum();
+    if total > 0 {
+        let mut t = Table::new(["expert", "tokens routed", "share (%)"]);
+        for (key, m) in &experts {
+            let MetricSnapshot::Counter(v) = m else { continue };
+            t.push_row([
+                key.clone(),
+                v.to_string(),
+                format!("{:.1}", 100.0 * *v as f64 / total as f64),
+            ]);
+        }
+        println!("per-expert activations:\n{}", t.render());
+    }
+
+    for (key, m) in milo_obs::registry::snapshot_prefixed("engine.load_skew") {
+        if let MetricSnapshot::Gauge(v) = m {
+            println!("{key} = {v:.3} (max/mean routed tokens; 1.0 = balanced)");
+        }
+    }
+    println!("experts quarantined: {}", milo_obs::counter_get("moe.quarantine.total"));
+
+    if args.flag("all") {
+        println!("\nfull metric registry:\n{}", milo_obs::snapshot::render());
+    }
+    Ok(())
+}
+
+/// Validates a Chrome trace-event file produced by `--trace-out` (or any
+/// conforming tool): well-formed JSON, a non-empty `traceEvents` array,
+/// monotonic non-negative timestamps, and at least one complete span per
+/// `--require` prefix (comma-separated).
+fn cmd_trace_check(args: &Args) -> Result<(), CliError> {
+    let path = required(args, "trace")?;
+    let required_spans: Vec<&str> = args
+        .get("require")
+        .map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).collect())
+        .unwrap_or_default();
+    let text = std::fs::read_to_string(path)?;
+    let check = milo_obs::validate_trace(&text, &required_spans)
+        .map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "{path}: ok ({} events: {} spans, {} instants, {} counter samples; {} required prefix(es) present)",
+        check.events, check.spans, check.instants, check.counters, required_spans.len()
     );
     Ok(())
 }

@@ -128,6 +128,7 @@ pub fn milo_compress(w: &Matrix, rank: usize, opts: &MiloOptions) -> Result<Comp
     if rank > rows.min(cols) {
         return Err(MiloError::InvalidRank { rank, rows, cols });
     }
+    let _span = milo_obs::span(|| "core.milo_compress".into());
 
     if rank == 0 {
         let qweight = hqq_quantize(w, &opts.quant, &opts.hqq)?;
@@ -161,6 +162,13 @@ pub fn milo_compress(w: &Matrix, rank: usize, opts: &MiloOptions) -> Result<Comp
 
         // ε_t = ‖W − W_dq − U·V‖_F (Eq. 13).
         let eps = residual.sub(&new_comp.to_dense())?.frobenius_norm();
+        milo_obs::counter_inc("core.iterations");
+        milo_obs::hist_record(
+            "core.residual_eps_micro",
+            (eps as f64 * 1e6).round().max(0.0) as u64,
+            milo_obs::Unit::Micro,
+        );
+        milo_obs::trace::push_counter("core.residual_eps", eps as f64);
         history.push(eps);
         if best.as_ref().map_or(true, |(b, _, _)| eps < *b) {
             best = Some((eps, qweight, new_comp.clone()));
@@ -175,6 +183,7 @@ pub fn milo_compress(w: &Matrix, rank: usize, opts: &MiloOptions) -> Result<Comp
             let curr = avg(&history[history.len() - win..]);
             let prev = avg(&history[history.len() - win - 1..history.len() - 1]);
             if prev > 0.0 && (prev - curr) / prev < opts.rel_tol {
+                milo_obs::counter_inc("core.stop.window");
                 break;
             }
         }
@@ -184,8 +193,12 @@ pub fn milo_compress(w: &Matrix, rank: usize, opts: &MiloOptions) -> Result<Comp
         if history.len() >= 3 {
             let n = history.len();
             if history[n - 1] > history[n - 2] && history[n - 2] > history[n - 3] {
+                milo_obs::counter_inc("core.stop.divergence");
                 break;
             }
+        }
+        if t + 1 == opts.max_iters.max(1) {
+            milo_obs::counter_inc("core.stop.max_iters");
         }
     }
 

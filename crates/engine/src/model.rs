@@ -11,6 +11,47 @@ use milo_moe::router::Router;
 use milo_moe::{FfnBlock, MoeModel};
 use milo_tensor::{pool, Matrix};
 
+/// Records per-expert routed-token counters for one packed-layer pass
+/// and refreshes the layer's live load-skew gauge (max/mean of the
+/// cumulative counts; 1.0 is perfectly balanced).
+fn record_dispatch_telemetry(layer: usize, assignment: &[Vec<(usize, f32)>]) {
+    if !milo_obs::enabled() || assignment.is_empty() {
+        return;
+    }
+    let lv = layer.to_string();
+    let mut loads = Vec::with_capacity(assignment.len());
+    for (e, toks) in assignment.iter().enumerate() {
+        let key = milo_obs::metric_key(
+            "engine.expert_tokens",
+            &[("layer", &lv), ("expert", &e.to_string())],
+        );
+        milo_obs::counter_add(&key, toks.len() as u64);
+        loads.push(milo_obs::counter_get(&key));
+    }
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    if mean > 0.0 {
+        let max = *loads.iter().max().expect("non-empty") as f64;
+        milo_obs::gauge_set(
+            &milo_obs::metric_key("engine.load_skew", &[("layer", &lv)]),
+            max / mean,
+        );
+    }
+}
+
+/// Flushes one expert's forward latency (started inside the dispatch
+/// closure when telemetry was on) into its per-expert histogram.
+fn record_expert_latency(layer: usize, expert: usize, t0: Option<std::time::Instant>) {
+    let Some(t0) = t0 else { return };
+    milo_obs::hist_record(
+        &milo_obs::metric_key(
+            "engine.expert_ns",
+            &[("layer", &layer.to_string()), ("expert", &expert.to_string())],
+        ),
+        t0.elapsed().as_nanos() as u64,
+        milo_obs::Unit::Nanos,
+    );
+}
+
 /// A SwiGLU block on packed projections.
 #[derive(Debug, Clone, PartialEq)]
 struct PackedMlp {
@@ -126,6 +167,7 @@ impl PackedMoeModel {
     ///
     /// Returns [`EngineError::Run`] for invalid tokens or empty input.
     pub fn forward(&self, tokens: &[u32]) -> Result<Matrix> {
+        let _span = milo_obs::span(|| "engine.forward".into());
         if tokens.is_empty() {
             return Err(EngineError::Run("empty token sequence".into()));
         }
@@ -138,14 +180,21 @@ impl PackedMoeModel {
         }
 
         for li in 0..self.layers.len() {
+            let _span = milo_obs::span(|| format!("engine.layer{{layer={li}}}"));
             let normed = rms_norm(&x);
-            let (q, k, v) = self.project_qkv(li, &normed)?;
-            let ctx = attend(&q, &k, &v, self.layers[li].n_heads);
-            let a = self.project_out(li, &ctx)?;
+            let a = {
+                let _attn = milo_obs::span(|| "engine.attn".into());
+                let (q, k, v) = self.project_qkv(li, &normed)?;
+                let ctx = attend(&q, &k, &v, self.layers[li].n_heads);
+                self.project_out(li, &ctx)?
+            };
             x = x.add(&a).map_err(|e| EngineError::Run(e.to_string()))?;
 
             let normed = rms_norm(&x);
-            let f = self.ffn_forward(li, &normed)?;
+            let f = {
+                let _ffn = milo_obs::span(|| "engine.ffn".into());
+                self.ffn_forward(li, &normed)?
+            };
             x = x.add(&f).map_err(|e| EngineError::Run(e.to_string()))?;
         }
 
@@ -175,6 +224,7 @@ impl PackedMoeModel {
         tokens: &[u32],
         ctx: &ResilienceContext,
     ) -> Result<Matrix> {
+        let _span = milo_obs::span(|| "engine.forward".into());
         if tokens.is_empty() {
             return Err(EngineError::Run("empty token sequence".into()));
         }
@@ -187,14 +237,21 @@ impl PackedMoeModel {
         }
 
         for li in 0..self.layers.len() {
+            let _span = milo_obs::span(|| format!("engine.layer{{layer={li}}}"));
             let normed = rms_norm(&x);
-            let (q, k, v) = self.project_qkv(li, &normed)?;
-            let attn_ctx = attend(&q, &k, &v, self.layers[li].n_heads);
-            let a = self.project_out(li, &attn_ctx)?;
+            let a = {
+                let _attn = milo_obs::span(|| "engine.attn".into());
+                let (q, k, v) = self.project_qkv(li, &normed)?;
+                let attn_ctx = attend(&q, &k, &v, self.layers[li].n_heads);
+                self.project_out(li, &attn_ctx)?
+            };
             x = x.add(&a).map_err(|e| EngineError::Run(e.to_string()))?;
 
             let normed = rms_norm(&x);
-            let f = self.ffn_forward_resilient(li, &normed, ctx)?;
+            let f = {
+                let _ffn = milo_obs::span(|| "engine.ffn".into());
+                self.ffn_forward_resilient(li, &normed, ctx)?
+            };
             x = x.add(&f).map_err(|e| EngineError::Run(e.to_string()))?;
         }
 
@@ -230,6 +287,8 @@ impl PackedMoeModel {
                 assignment[e].push((t, gate));
             }
         }
+        record_dispatch_telemetry(li, &assignment);
+        let telemetry = milo_obs::enabled();
 
         let raw = pool::try_par_map(n_experts, |e| {
             if assignment[e].is_empty() || ctx.health.is_failed(li, e) {
@@ -243,7 +302,9 @@ impl PackedMoeModel {
             for (i, &(t, _)) in toks.iter().enumerate() {
                 sub.row_mut(i).copy_from_slice(x.row(t));
             }
+            let t0 = telemetry.then(std::time::Instant::now);
             let mut res = experts[e].forward(&sub);
+            record_expert_latency(li, e, t0);
             if ctx.injected_kind(li, e) == Some(FaultKind::NanOutput) {
                 if let Ok(y) = &mut res {
                     y.row_mut(0)[0] = f32::NAN;
@@ -429,6 +490,8 @@ impl PackedMoeModel {
                         assignment[e].push((t, gate));
                     }
                 }
+                record_dispatch_telemetry(li, &assignment);
+                let telemetry = milo_obs::enabled();
                 let expert_outputs: Vec<Option<Result<Matrix>>> =
                     pool::par_map(experts.len(), |e| {
                         let toks = &assignment[e];
@@ -439,7 +502,10 @@ impl PackedMoeModel {
                         for (i, &(t, _)) in toks.iter().enumerate() {
                             sub.row_mut(i).copy_from_slice(x.row(t));
                         }
-                        Some(experts[e].forward(&sub))
+                        let t0 = telemetry.then(std::time::Instant::now);
+                        let res = experts[e].forward(&sub);
+                        record_expert_latency(li, e, t0);
+                        Some(res)
                     });
                 for (e, maybe) in expert_outputs.into_iter().enumerate() {
                     let Some(res) = maybe else { continue };

@@ -1,5 +1,12 @@
 //! Wall-clock timing helpers for quantization-cost experiments
 //! (paper Table 1 and Fig. 8).
+//!
+//! [`Timings`] keeps its original `(name, seconds)` API, but
+//! [`Timings::measure`] is now a thin shim over the `milo-obs` span
+//! layer: each measured section also lands in the global telemetry
+//! registry as an `eval.{name}` span (and in the Chrome trace at trace
+//! level), so harness phases appear alongside engine/kernel spans in
+//! `milo-cli stats` without any caller changes.
 
 use std::time::Instant;
 
@@ -27,9 +34,15 @@ impl Timings {
         self.entries.push((name.into(), seconds));
     }
 
-    /// Runs and records `f` under `name`, returning its output.
+    /// Runs and records `f` under `name`, returning its output. Also
+    /// opens an `eval.{name}` telemetry span around `f`, so the harness
+    /// phase shows up in the global metric registry and Chrome trace.
     pub fn measure<T>(&mut self, name: impl Into<String>, f: impl FnOnce() -> T) -> T {
-        let (out, secs) = time_it(f);
+        let name = name.into();
+        let (out, secs) = {
+            let _span = milo_obs::span(|| format!("eval.{name}"));
+            time_it(f)
+        };
         self.record(name, secs);
         out
     }

@@ -63,12 +63,29 @@ impl HealthTracker {
     }
 
     /// Quarantines an expert. The first recorded reason wins.
+    ///
+    /// A quarantine used to be invisible outside the tracker itself; a
+    /// *new* quarantine now also emits telemetry — a
+    /// `moe.quarantine.total` counter tick and, at trace level, a
+    /// structured instant event carrying the layer, expert, and reason —
+    /// so `milo-cli stats` and trace consumers can see degraded capacity.
     pub fn record(&self, layer: usize, expert: usize, reason: impl Into<String>) {
-        self.failed
-            .lock()
-            .expect("health tracker lock")
-            .entry((layer, expert))
-            .or_insert_with(|| reason.into());
+        let reason = reason.into();
+        let mut map = self.failed.lock().expect("health tracker lock");
+        if map.contains_key(&(layer, expert)) {
+            return; // sticky: re-records are not new quarantines
+        }
+        map.insert((layer, expert), reason.clone());
+        drop(map);
+        milo_obs::counter_inc("moe.quarantine.total");
+        milo_obs::trace::push_instant(
+            "moe.quarantine",
+            &[
+                ("layer", milo_obs::trace::ArgValue::Num(layer as f64)),
+                ("expert", milo_obs::trace::ArgValue::Num(expert as f64)),
+                ("reason", milo_obs::trace::ArgValue::Str(reason)),
+            ],
+        );
     }
 
     /// Whether the expert has been quarantined.

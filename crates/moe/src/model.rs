@@ -11,6 +11,59 @@ use milo_tensor::{pool, Matrix};
 use milo_tensor::rng::StdRng;
 use milo_tensor::rng::{Rng, SeedableRng};
 
+/// Records one token's routing entropy `-Σ g·ln g` (nats, stored ×1e6)
+/// into the `moe.gate_entropy_micro` histogram. Low entropy means the
+/// router is confident (mass on one expert); the paper's Fig. 3 skew
+/// shows up here as a depressed median.
+fn record_gate_entropy(routes: &[(usize, f32)]) {
+    let h: f64 = routes
+        .iter()
+        .map(|&(_, g)| {
+            let g = g as f64;
+            if g > 0.0 {
+                -g * g.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum();
+    milo_obs::hist_record(
+        "moe.gate_entropy_micro",
+        (h * 1e6).round().max(0.0) as u64,
+        milo_obs::Unit::Micro,
+    );
+}
+
+/// Records per-expert routed-token counters for one layer pass and
+/// refreshes the layer's live load-skew gauge (max/mean of the
+/// *cumulative* per-expert counts — 1.0 is perfectly balanced; Fig. 3's
+/// imbalance pushes it up). `layer = None` (a bare [`MoeBlock`] outside
+/// a model stack) labels the metrics `layer=na`.
+fn record_routing_telemetry(layer: Option<usize>, assignment: &[Vec<(usize, f32)>]) {
+    if !milo_obs::enabled() || assignment.is_empty() {
+        return;
+    }
+    let label = layer.map(|l| l.to_string());
+    let lv = label.as_deref().unwrap_or("na");
+    let mut loads = Vec::with_capacity(assignment.len());
+    for (e, toks) in assignment.iter().enumerate() {
+        let key = milo_obs::metric_key(
+            "moe.expert_tokens",
+            &[("layer", lv), ("expert", &e.to_string())],
+        );
+        milo_obs::counter_add(&key, toks.len() as u64);
+        loads.push(milo_obs::counter_get(&key));
+    }
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    if mean > 0.0 {
+        let max = *loads.iter().max().expect("non-empty") as f64;
+        milo_obs::gauge_set(
+            &milo_obs::metric_key("moe.load_skew", &[("layer", lv)]),
+            max / mean,
+        );
+    }
+}
+
 /// The feed-forward part of a transformer layer.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FfnBlock {
@@ -44,22 +97,40 @@ impl MoeBlock {
     pub fn forward_counting(
         &self,
         x: &Matrix,
+        counts: Option<&mut [u64]>,
+    ) -> Result<Matrix> {
+        self.forward_counting_labeled(x, counts, None)
+    }
+
+    /// [`MoeBlock::forward_counting`] with an optional layer index used
+    /// only to label telemetry ([`MoeModel`] passes its layer number; the
+    /// block alone has no position in a stack).
+    fn forward_counting_labeled(
+        &self,
+        x: &Matrix,
         mut counts: Option<&mut [u64]>,
+        layer: Option<usize>,
     ) -> Result<Matrix> {
         let (tokens, d) = x.shape();
         let mut out = Matrix::zeros(tokens, d);
+        let telemetry = milo_obs::enabled();
 
         // Group tokens by expert so each expert runs one batched GEMM —
         // the same gather/scatter structure real MoE inference uses.
         let mut assignment: Vec<Vec<(usize, f32)>> = vec![Vec::new(); self.experts.len()];
         for t in 0..tokens {
-            for (e, gate) in self.router.route(x.row(t)) {
+            let routes = self.router.route(x.row(t));
+            if telemetry {
+                record_gate_entropy(&routes);
+            }
+            for (e, gate) in routes {
                 assignment[e].push((t, gate));
                 if let Some(c) = counts.as_deref_mut() {
                     c[e] += 1;
                 }
             }
         }
+        record_routing_telemetry(layer, &assignment);
 
         // Parallel expert dispatch: gather + forward per expert, in
         // index-ordered result slots.
@@ -138,12 +209,18 @@ impl MoeBlock {
         let mut out = Matrix::zeros(tokens, d);
         let n_experts = self.experts.len();
 
+        let telemetry = milo_obs::enabled();
         let mut assignment: Vec<Vec<(usize, f32)>> = vec![Vec::new(); n_experts];
         for t in 0..tokens {
-            for (e, gate) in self.router.try_route(x.row(t))? {
+            let routes = self.router.try_route(x.row(t))?;
+            if telemetry {
+                record_gate_entropy(&routes);
+            }
+            for (e, gate) in routes {
                 assignment[e].push((t, gate));
             }
         }
+        record_routing_telemetry(Some(layer), &assignment);
 
         let raw = pool::try_par_map(n_experts, |e| {
             if assignment[e].is_empty() || ctx.health.is_failed(layer, e) {
@@ -425,6 +502,7 @@ impl MoeModel {
         }
 
         for (li, layer) in self.layers.iter().enumerate() {
+            let _span = milo_obs::span(|| format!("moe.layer{{layer={li}}}"));
             let a = layer.attn.forward(&rms_norm(&x))?;
             x = x.add(&a)?;
             let normed = rms_norm(&x);
@@ -432,7 +510,11 @@ impl MoeModel {
                 FfnBlock::Dense(mlp) => mlp.forward(&normed)?,
                 FfnBlock::Moe(moe) => {
                     let slot = counts.as_deref_mut().map(|c| &mut c[li]);
-                    moe.forward_counting(&normed, slot.map(|v| v.as_mut_slice()))?
+                    moe.forward_counting_labeled(
+                        &normed,
+                        slot.map(|v| v.as_mut_slice()),
+                        Some(li),
+                    )?
                 }
             };
             x = x.add(&f)?;
@@ -481,6 +563,7 @@ impl MoeModel {
         }
 
         for (li, layer) in self.layers.iter().enumerate() {
+            let _span = milo_obs::span(|| format!("moe.layer{{layer={li}}}"));
             let a = layer.attn.forward(&rms_norm(&x))?;
             x = x.add(&a)?;
             let normed = rms_norm(&x);

@@ -1,0 +1,238 @@
+//! Zero-dependency telemetry core for the MiLo workspace.
+//!
+//! The paper's claims are measurements — HQQ convergence under the
+//! Eq. 13–14 stop rule, expert activation skew (Fig. 3), W3A16 kernel
+//! latency (§3.3) — and this crate is how the running system exposes
+//! them: lock-free-ish counters and gauges on `std::sync::atomic`,
+//! fixed-bucket latency histograms with p50/p95/p99, RAII spans with
+//! stable per-thread ids, and two sinks — a human-readable snapshot
+//! table and Chrome `chrome://tracing` trace-event JSON.
+//!
+//! # Gating
+//!
+//! Everything is gated on `MILO_TELEMETRY` (read once, overridable at
+//! runtime with [`set_level`]):
+//!
+//! * unset / `0` / `off` — **off**: every instrumentation call is a
+//!   single relaxed atomic load followed by an early return, and all
+//!   instrumented numeric paths are bit-identical to their
+//!   un-instrumented form (telemetry never touches data values);
+//! * `1` / `on` / `metrics` — counters, gauges, and histograms record;
+//! * `trace` / `2` — additionally, spans and structured events are
+//!   appended to the in-memory trace buffer for Chrome-trace export.
+//!
+//! # Naming
+//!
+//! Metric keys are `name{label=value,label2=value2}` with labels sorted
+//! by construction ([`metric_key`]). Conventions: `*_ns` counters
+//! accumulate nanoseconds; histograms carry an explicit [`Unit`].
+//!
+//! This crate is the bottom of the workspace dependency graph: it
+//! depends on nothing (std only) so every other crate — including
+//! `milo-tensor`'s thread pool — can report into it.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod json;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+pub mod trace;
+
+pub use hist::{HistSnapshot, Histogram, Unit};
+pub use registry::{metric_key, MetricSnapshot};
+pub use span::{span, Span};
+pub use trace::{validate_trace, TraceCheck};
+
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// How much telemetry is recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No recording; instrumentation is a relaxed load + early return.
+    Off = 0,
+    /// Counters, gauges, and histograms record.
+    Metrics = 1,
+    /// Metrics plus the trace-event buffer (Chrome-trace export).
+    Trace = 2,
+}
+
+/// Sentinel for "environment not read yet".
+const LEVEL_UNINIT: u8 = 0xFF;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNINIT);
+
+/// Parses a `MILO_TELEMETRY` value.
+fn parse_level(v: &str) -> Level {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "1" | "on" | "metrics" | "true" => Level::Metrics,
+        "2" | "trace" => Level::Trace,
+        _ => Level::Off,
+    }
+}
+
+/// The current telemetry level: `MILO_TELEMETRY` on first call, or
+/// whatever [`set_level`] last installed.
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Metrics,
+        2 => Level::Trace,
+        _ => {
+            let from_env = std::env::var("MILO_TELEMETRY")
+                .map(|v| parse_level(&v))
+                .unwrap_or(Level::Off);
+            // A concurrent set_level wins over the env default.
+            let _ = LEVEL.compare_exchange(
+                LEVEL_UNINIT,
+                from_env as u8,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            level()
+        }
+    }
+}
+
+/// Overrides the telemetry level at runtime (CLI `--trace-out`, tests).
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether any telemetry (metrics or trace) is recording. This is the
+/// guard every hot path checks first.
+#[inline]
+pub fn enabled() -> bool {
+    level() >= Level::Metrics
+}
+
+/// Whether the trace-event buffer is recording.
+#[inline]
+pub fn tracing() -> bool {
+    level() == Level::Trace
+}
+
+/// The process-wide time origin all trace timestamps are relative to.
+pub(crate) fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Microseconds since the process telemetry epoch.
+pub(crate) fn ts_micros(at: Instant) -> f64 {
+    at.duration_since(epoch()).as_secs_f64() * 1e6
+}
+
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static THREAD_ID: u64 = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small, stable, per-thread numeric id (1, 2, …) for trace events.
+pub fn thread_id() -> u64 {
+    THREAD_ID.with(|t| *t)
+}
+
+/// Increments the counter registered under `key` by 1.
+pub fn counter_inc(key: &str) {
+    counter_add(key, 1);
+}
+
+/// Adds `v` to the counter registered under `key`. No-op when telemetry
+/// is off.
+pub fn counter_add(key: &str, v: u64) {
+    if !enabled() {
+        return;
+    }
+    registry::counter(key).add(v);
+}
+
+/// Current value of the counter under `key` (0 if never touched).
+pub fn counter_get(key: &str) -> u64 {
+    registry::counter_peek(key).unwrap_or(0)
+}
+
+/// Sets the gauge registered under `key`. No-op when telemetry is off.
+pub fn gauge_set(key: &str, v: f64) {
+    if !enabled() {
+        return;
+    }
+    registry::gauge(key).set(v);
+}
+
+/// Records `v` into the histogram registered under `key`. No-op when
+/// telemetry is off.
+pub fn hist_record(key: &str, v: u64, unit: Unit) {
+    if !enabled() {
+        return;
+    }
+    registry::histogram(key, unit).record(v);
+}
+
+/// Clears every metric and the trace buffer, and re-reads the level on
+/// next use. Meant for tests and for CLI commands that want a run-scoped
+/// view.
+pub fn reset() {
+    registry::reset();
+    trace::clear();
+}
+
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let g = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    reset();
+    set_level(Level::Off);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_level_makes_recording_a_noop() {
+        let _g = test_guard();
+        set_level(Level::Off);
+        counter_inc("t.noop");
+        gauge_set("t.noop_gauge", 3.0);
+        hist_record("t.noop_hist", 5, Unit::Nanos);
+        assert_eq!(counter_get("t.noop"), 0);
+        assert!(registry::snapshot().is_empty());
+    }
+
+    #[test]
+    fn metrics_level_records_counters() {
+        let _g = test_guard();
+        set_level(Level::Metrics);
+        counter_inc("t.hits");
+        counter_add("t.hits", 4);
+        assert_eq!(counter_get("t.hits"), 5);
+        assert!(!tracing());
+    }
+
+    #[test]
+    fn parse_level_accepts_documented_values() {
+        assert_eq!(parse_level("0"), Level::Off);
+        assert_eq!(parse_level("off"), Level::Off);
+        assert_eq!(parse_level("1"), Level::Metrics);
+        assert_eq!(parse_level("on"), Level::Metrics);
+        assert_eq!(parse_level("metrics"), Level::Metrics);
+        assert_eq!(parse_level("trace"), Level::Trace);
+        assert_eq!(parse_level("2"), Level::Trace);
+        assert_eq!(parse_level("garbage"), Level::Off);
+    }
+
+    #[test]
+    fn thread_ids_are_stable_and_distinct() {
+        let a = thread_id();
+        assert_eq!(a, thread_id());
+        let b = std::thread::spawn(thread_id).join().unwrap();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,206 @@
+//! The global metric registry: `key → counter | gauge | histogram`.
+//!
+//! The registry is a single mutex-guarded sorted map. Lookups take the
+//! lock; the returned `Arc` handles record lock-free, so hot paths that
+//! care batch their updates (e.g. one `counter_add` per expert per
+//! layer pass rather than one per token). Keys follow the
+//! `name{label=value,…}` convention built by [`metric_key`].
+
+use crate::hist::{HistSnapshot, Histogram, Unit};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Adds `v`.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins gauge storing an `f64`.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A point-in-time copy of one metric's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricSnapshot {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(f64),
+    /// Histogram summary.
+    Histogram(HistSnapshot),
+}
+
+fn registry() -> &'static Mutex<BTreeMap<String, Metric>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, Metric>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, BTreeMap<String, Metric>> {
+    registry().lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// Builds a `name{label=value,…}` key. With no labels the name is used
+/// verbatim.
+pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{name}{{{}}}", inner.join(","))
+}
+
+/// The counter registered under `key`, created on first use. A key
+/// already holding a different metric kind is replaced (instrumentation
+/// is workspace-internal; mixed kinds indicate a bug, and replacing is
+/// more useful than panicking in a telemetry layer).
+pub fn counter(key: &str) -> Arc<Counter> {
+    let mut map = lock();
+    if let Some(Metric::Counter(c)) = map.get(key) {
+        return c.clone();
+    }
+    let c = Arc::new(Counter::default());
+    map.insert(key.to_string(), Metric::Counter(c.clone()));
+    c
+}
+
+/// The counter's current value without creating it.
+pub fn counter_peek(key: &str) -> Option<u64> {
+    match lock().get(key) {
+        Some(Metric::Counter(c)) => Some(c.get()),
+        _ => None,
+    }
+}
+
+/// The gauge registered under `key`, created on first use.
+pub fn gauge(key: &str) -> Arc<Gauge> {
+    let mut map = lock();
+    if let Some(Metric::Gauge(g)) = map.get(key) {
+        return g.clone();
+    }
+    let g = Arc::new(Gauge::default());
+    map.insert(key.to_string(), Metric::Gauge(g.clone()));
+    g
+}
+
+/// The histogram registered under `key`, created on first use with
+/// `unit` (an existing histogram keeps its original unit).
+pub fn histogram(key: &str, unit: Unit) -> Arc<Histogram> {
+    let mut map = lock();
+    if let Some(Metric::Histogram(h)) = map.get(key) {
+        return h.clone();
+    }
+    let h = Arc::new(Histogram::new(unit));
+    map.insert(key.to_string(), Metric::Histogram(h.clone()));
+    h
+}
+
+/// A sorted point-in-time copy of every registered metric.
+pub fn snapshot() -> Vec<(String, MetricSnapshot)> {
+    lock()
+        .iter()
+        .map(|(k, m)| {
+            let snap = match m {
+                Metric::Counter(c) => MetricSnapshot::Counter(c.get()),
+                Metric::Gauge(g) => MetricSnapshot::Gauge(g.get()),
+                Metric::Histogram(h) => MetricSnapshot::Histogram(h.snapshot()),
+            };
+            (k.clone(), snap)
+        })
+        .collect()
+}
+
+/// Snapshots of the metrics whose key starts with `prefix`, sorted.
+pub fn snapshot_prefixed(prefix: &str) -> Vec<(String, MetricSnapshot)> {
+    snapshot().into_iter().filter(|(k, _)| k.starts_with(prefix)).collect()
+}
+
+/// Drops every registered metric.
+pub fn reset() {
+    lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_key_formats_labels() {
+        assert_eq!(metric_key("a.b", &[]), "a.b");
+        assert_eq!(metric_key("a.b", &[("layer", "3")]), "a.b{layer=3}");
+        assert_eq!(
+            metric_key("a.b", &[("layer", "3"), ("expert", "7")]),
+            "a.b{layer=3,expert=7}"
+        );
+    }
+
+    #[test]
+    fn registry_handles_are_shared() {
+        let _g = crate::test_guard();
+        let a = counter("t.reg.hits");
+        let b = counter("t.reg.hits");
+        a.add(2);
+        b.add(3);
+        assert_eq!(counter_peek("t.reg.hits"), Some(5));
+        assert_eq!(counter_peek("t.reg.other"), None);
+    }
+
+    #[test]
+    fn snapshot_covers_all_kinds() {
+        let _g = crate::test_guard();
+        counter("t.snap.c").add(7);
+        gauge("t.snap.g").set(1.5);
+        histogram("t.snap.h", Unit::Nanos).record(100);
+        let snap = snapshot();
+        assert_eq!(snap.len(), 3);
+        assert!(matches!(
+            snap.iter().find(|(k, _)| k == "t.snap.c"),
+            Some((_, MetricSnapshot::Counter(7)))
+        ));
+        assert!(matches!(
+            snap.iter().find(|(k, _)| k == "t.snap.g"),
+            Some((_, MetricSnapshot::Gauge(v))) if *v == 1.5
+        ));
+        let prefixed = snapshot_prefixed("t.snap.h");
+        assert_eq!(prefixed.len(), 1);
+    }
+
+    #[test]
+    fn reset_empties_the_registry() {
+        let _g = crate::test_guard();
+        counter("t.reset.c").add(1);
+        reset();
+        assert!(snapshot().is_empty());
+    }
+}

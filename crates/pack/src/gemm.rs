@@ -146,18 +146,25 @@ impl GemmKernel {
         // de-quantizes its weight strips into a thread-local buffer and
         // keeps the per-element k-tile reduction order sequential, so
         // results are bit-identical across thread counts.
+        let _span = milo_obs::span(|| "pack.gemm.fused".into());
+        let telemetry = milo_obs::enabled();
         let mut acc = vec![0.0f32; n * batch];
         pool::parallel_chunks_mut(&mut acc, tile_n * batch, |tile_idx, strip| {
             let n0 = tile_idx * tile_n;
             let mut wtile = vec![F16::ZERO; tile_k]; // thread-local dequant strip
+            // Dequant-vs-MAC split, accumulated locally per tile and
+            // flushed once (two counter touches per tile, not per strip).
+            let (mut dequant_ns, mut mac_ns) = (0u64, 0u64);
             for k0 in (0..k).step_by(tile_k) {
                 for oo in 0..tile_n {
                     let o = n0 + oo;
+                    let t0 = telemetry.then(std::time::Instant::now);
                     // Dequantize the k-strip of output row o straight
                     // into the tile buffer via the packed group path.
                     for (gi, g) in ((k0 / 32)..((k0 + tile_k) / 32)).enumerate() {
                         w.dequant_group32_into(o, g, &mut wtile[gi * 32..gi * 32 + 32]);
                     }
+                    let t1 = telemetry.then(std::time::Instant::now);
                     for (b, out) in strip[oo * batch..(oo + 1) * batch].iter_mut().enumerate()
                     {
                         let xrow = &x16[b * k + k0..b * k + k0 + tile_k];
@@ -167,7 +174,15 @@ impl GemmKernel {
                         }
                         *out += sum;
                     }
+                    if let (Some(t0), Some(t1)) = (t0, t1) {
+                        dequant_ns += (t1 - t0).as_nanos() as u64;
+                        mac_ns += t1.elapsed().as_nanos() as u64;
+                    }
                 }
+            }
+            if telemetry {
+                milo_obs::counter_add("pack.gemm.dequant_ns", dequant_ns);
+                milo_obs::counter_add("pack.gemm.mac_ns", mac_ns);
             }
         });
 
@@ -196,6 +211,7 @@ impl GemmKernel {
                 w.cols()
             )));
         }
+        let _span = milo_obs::span(|| "pack.gemm.unfused".into());
         let dense = w.dequantize_dense(); // n × k, already rounded through FP16
         let batch = x.rows();
         let (k, n) = (w.cols(), w.rows());

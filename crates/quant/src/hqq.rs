@@ -73,6 +73,7 @@ pub fn hqq_quantize(w: &Matrix, cfg: &QuantConfig, opts: &HqqOptions) -> Result<
     if w.is_empty() {
         return Err(QuantError::InvalidShape("cannot quantize an empty matrix".into()));
     }
+    let _span = milo_obs::span(|| "quant.hqq".into());
 
     let (rows, cols) = w.shape();
     let groups_per_row = cfg.groups_per_row(cols);

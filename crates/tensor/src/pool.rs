@@ -132,6 +132,30 @@ fn install_quiet_hook() {
     });
 }
 
+/// Starts a busy-time measurement for one worker's chunk, or `None` when
+/// telemetry is off or the call is already nested inside a pool task
+/// (nested serial fallbacks are part of the enclosing worker's busy time
+/// and must not be double-counted).
+fn busy_timer() -> Option<std::time::Instant> {
+    if milo_obs::enabled() && !IN_POOL.with(Cell::get) {
+        Some(std::time::Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Flushes one worker's chunk into `pool.busy_ns{worker=…}` and
+/// `pool.tasks{worker=…}`. Worker 0 is the calling thread.
+fn record_busy(worker: usize, tasks: u64, start: Option<std::time::Instant>) {
+    let Some(start) = start else { return };
+    let w = worker.to_string();
+    milo_obs::counter_add(
+        &milo_obs::metric_key("pool.busy_ns", &[("worker", &w)]),
+        start.elapsed().as_nanos() as u64,
+    );
+    milo_obs::counter_add(&milo_obs::metric_key("pool.tasks", &[("worker", &w)]), tasks);
+}
+
 /// RAII guard that marks the current thread as executing a pool task.
 struct TaskGuard(bool);
 
@@ -159,9 +183,11 @@ impl Drop for TaskGuard {
 pub fn parallel_for(tasks: usize, body: impl Fn(usize) + Sync) {
     let threads = max_threads().min(tasks);
     if threads <= 1 {
+        let t0 = busy_timer();
         for i in 0..tasks {
             body(i);
         }
+        record_busy(0, tasks as u64, t0);
         return;
     }
     let chunk = tasks.div_ceil(threads);
@@ -170,18 +196,23 @@ pub fn parallel_for(tasks: usize, body: impl Fn(usize) + Sync) {
         let handles: Vec<_> = (1..threads)
             .map(|t| {
                 scope.spawn(move || {
+                    let t0 = busy_timer();
                     let _guard = TaskGuard::enter();
-                    for i in t * chunk..tasks.min((t + 1) * chunk) {
+                    let (lo, hi) = (t * chunk, tasks.min((t + 1) * chunk));
+                    for i in lo..hi {
                         body(i);
                     }
+                    record_busy(t, (hi - lo) as u64, t0);
                 })
             })
             .collect();
         {
+            let t0 = busy_timer();
             let _guard = TaskGuard::enter();
             for i in 0..chunk.min(tasks) {
                 body(i);
             }
+            record_busy(0, chunk.min(tasks) as u64, t0);
         }
         for h in handles {
             join_propagating(h);
@@ -194,7 +225,10 @@ pub fn parallel_for(tasks: usize, body: impl Fn(usize) + Sync) {
 pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     let threads = max_threads().min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let t0 = busy_timer();
+        let out: Vec<T> = (0..n).map(f).collect();
+        record_busy(0, n as u64, t0);
+        return out;
     }
     let chunk = n.div_ceil(threads);
     let mut chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
@@ -202,14 +236,21 @@ pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
         let handles: Vec<_> = (1..threads)
             .map(|t| {
                 scope.spawn(move || {
+                    let t0 = busy_timer();
                     let _guard = TaskGuard::enter();
-                    (t * chunk..n.min((t + 1) * chunk)).map(f).collect::<Vec<T>>()
+                    let out: Vec<T> =
+                        (t * chunk..n.min((t + 1) * chunk)).map(f).collect();
+                    record_busy(t, out.len() as u64, t0);
+                    out
                 })
             })
             .collect();
         let head = {
+            let t0 = busy_timer();
             let _guard = TaskGuard::enter();
-            (0..chunk.min(n)).map(f).collect::<Vec<T>>()
+            let out: Vec<T> = (0..chunk.min(n)).map(f).collect();
+            record_busy(0, out.len() as u64, t0);
+            out
         };
         let mut out = vec![head];
         out.extend(handles.into_iter().map(join_propagating));
@@ -273,9 +314,11 @@ pub fn parallel_chunks_mut<T: Send>(
     let n_chunks = data.len().div_ceil(chunk_len);
     let threads = max_threads().min(n_chunks);
     if threads <= 1 {
+        let t0 = busy_timer();
         for (i, c) in data.chunks_mut(chunk_len).enumerate() {
             body(i, c);
         }
+        record_busy(0, n_chunks as u64, t0);
         return;
     }
     // Group whole chunks into one contiguous run per thread.
@@ -295,21 +338,30 @@ pub fn parallel_chunks_mut<T: Send>(
         let mut iter = runs.into_iter();
         let head = iter.next().expect("data is non-empty");
         let handles: Vec<_> = iter
-            .map(|(first, run)| {
+            .enumerate()
+            .map(|(w, (first, run))| {
                 scope.spawn(move || {
+                    let t0 = busy_timer();
                     let _guard = TaskGuard::enter();
+                    let mut done = 0u64;
                     for (off, c) in run.chunks_mut(chunk_len).enumerate() {
                         body(first + off, c);
+                        done += 1;
                     }
+                    record_busy(w + 1, done, t0);
                 })
             })
             .collect();
         {
+            let t0 = busy_timer();
             let _guard = TaskGuard::enter();
             let (first, run) = head;
+            let mut done = 0u64;
             for (off, c) in run.chunks_mut(chunk_len).enumerate() {
                 body(first + off, c);
+                done += 1;
             }
+            record_busy(0, done, t0);
         }
         for h in handles {
             join_propagating(h);

@@ -13,6 +13,10 @@
 #    drills under a fixed MILO_FAULT_SEED, and exercises `milo-cli check`
 #    on a clean and a deliberately corrupted artifact (the corrupt one
 #    must fail with a nonzero exit, not a panic).
+# 5. Telemetry smoke: quantizes and serves a tiny model with
+#    MILO_TELEMETRY=trace + --trace-out, then validates both Chrome
+#    traces with `milo-cli trace-check` (well-formed JSON, monotonic
+#    timestamps, at least one span per instrumented stage).
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -118,3 +122,22 @@ if "$cli" check --artifact "$smoke_dir/bad.moem" >/dev/null 2>&1; then
     exit 1
 fi
 echo "ok: milo-cli check verifies clean artifacts and rejects corrupted ones"
+
+# --- 5. Telemetry smoke ----------------------------------------------------
+# Quantize then serve a tiny model at full trace level, exporting Chrome
+# traces, and validate each with the CLI's own checker. The required span
+# lists name only stages guaranteed on the tiny-model path (the packed
+# GEMM falls back to dense below the tile threshold, so pack.gemm spans
+# are not demanded here).
+"$cli" synth --model mixtral --scale 0.25 --layers 2 --out "$smoke_dir/tele.moem" >/dev/null
+MILO_TELEMETRY=trace "$cli" quantize --model "$smoke_dir/tele.moem" \
+    --method milo --iters 4 --sparse-rank 2 --out "$smoke_dir/tele.milo" \
+    --trace-out "$smoke_dir/quantize_trace.json" >/dev/null
+"$cli" trace-check --trace "$smoke_dir/quantize_trace.json" \
+    --require quant.hqq,core.milo_compress,moe.layer >/dev/null
+MILO_TELEMETRY=trace "$cli" stats --model "$smoke_dir/tele.moem" \
+    --compressed "$smoke_dir/tele.milo" --seqs 2 --seq-len 12 \
+    --trace-out "$smoke_dir/stats_trace.json" >/dev/null
+"$cli" trace-check --trace "$smoke_dir/stats_trace.json" \
+    --require engine.forward,engine.layer,engine.attn,engine.ffn >/dev/null
+echo "ok: telemetry traces validated for quantize and stats (MILO_TELEMETRY=trace)"

@@ -19,6 +19,9 @@
 //!   the paper's kernel throughput and end-to-end latency results.
 //! * [`eval`] — the evaluation harness (perplexity, task fidelity, timing,
 //!   memory accounting, report rendering).
+//! * [`obs`] — the zero-dependency telemetry layer (counters, latency
+//!   histograms, spans, Chrome-trace export) every other crate reports
+//!   into, gated on `MILO_TELEMETRY`.
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -30,6 +33,7 @@ pub use milo_engine as engine;
 pub use milo_eval as eval;
 pub use milo_gpu_sim as gpu_sim;
 pub use milo_moe as moe;
+pub use milo_obs as obs;
 pub use milo_pack as pack;
 pub use milo_quant as quant;
 pub use milo_tensor as tensor;
