@@ -60,7 +60,11 @@ fn usage() -> ExitCode {
                    percentiles, per-expert activations, load skew, quarantines)\n  \
          trace-check --trace FILE [--require prefix,prefix,...]\n            \
                    (validate Chrome trace JSON: well-formed, monotonic timestamps,\n            \
-                   >=1 span per required prefix)\n\
+                   >=1 span per required prefix)\n  \
+         soak      [--quick|--full] [--seed n] [--requests n] [--deadline-ms n] [--json FILE]\n            \
+                   (seeded chaos soak of the serving layer: kill/poison/slow faults,\n            \
+                   burst arrivals; fails on any violated invariant. Env: MILO_SOAK_SEED,\n            \
+                   MILO_DEADLINE_MS)\n\
          \n\
          quantize/eval/stats also accept --trace-out FILE (write Chrome trace JSON;\n\
          implies MILO_TELEMETRY=trace)"
@@ -93,6 +97,7 @@ fn main() -> ExitCode {
         "check" => cmd_check(&args),
         "stats" => cmd_stats(&args),
         "trace-check" => cmd_trace_check(&args),
+        "soak" => cmd_soak(&args),
         _ => return usage(),
     };
     let result = result.and_then(|()| {
@@ -398,6 +403,56 @@ fn cmd_trace_check(args: &Args) -> Result<(), CliError> {
         "{path}: ok ({} events: {} spans, {} instants, {} counter samples; {} required prefix(es) present)",
         check.events, check.spans, check.instants, check.counters, required_spans.len()
     );
+    Ok(())
+}
+
+fn cmd_soak(args: &Args) -> Result<(), CliError> {
+    let env_u64 = |name: &str| {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+    };
+    let seed = args
+        .get_u64("seed")
+        .or_else(|| env_u64("MILO_SOAK_SEED"))
+        .unwrap_or(milo_faults::fault_seed());
+    let mut cfg = if args.flag("full") {
+        milo_faults::SoakConfig::full(seed)
+    } else {
+        // --quick is the default profile; the flag is accepted for
+        // explicitness in scripts.
+        milo_faults::SoakConfig::quick(seed)
+    };
+    if let Some(n) = args.get_u64("requests") {
+        cfg.requests = n as usize;
+    }
+    if let Some(ms) = args.get_u64("deadline-ms").or_else(|| env_u64("MILO_DEADLINE_MS")) {
+        cfg.deadline = std::time::Duration::from_millis(ms);
+    }
+    println!(
+        "soak: seed {}, {} requests, {} workers, queue {}, deadline {:?}",
+        cfg.seed, cfg.requests, cfg.workers, cfg.queue_capacity, cfg.deadline
+    );
+    let report = milo_faults::run_soak(&cfg).map_err(|e| -> CliError { e.into() })?;
+    println!("{}", report.to_json());
+    println!(
+        "soak ok: {} ok / {} admitted ({} rejected, {} shed, {} deadline-exceeded, {} retries), \
+         breaker cycle {}→{}→{}, {:.1} req/s",
+        report.ok,
+        report.admitted,
+        report.rejected,
+        report.shed,
+        report.deadline_exceeded,
+        report.retries,
+        report.breaker_trips,
+        report.breaker_half_open,
+        report.breaker_recovered,
+        report.throughput_rps,
+    );
+    if let Some(path) = args.get("json") {
+        std::fs::write(path, report.to_json())?;
+        println!("wrote soak report -> {path}");
+    }
     Ok(())
 }
 

@@ -44,6 +44,15 @@ pub enum EngineError {
         /// Human-readable failure cause.
         reason: String,
     },
+    /// The request's [`milo_moe::CancelToken`] fired (deadline passed or
+    /// a watchdog cancelled it); the forward pass unwound at a layer
+    /// boundary. The serving layer maps this to its typed
+    /// deadline-exceeded error naming the stage.
+    Cancelled {
+        /// The layer boundary at which the cancellation was observed
+        /// (`n_layers` = the pre-head check after the last layer).
+        layer: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -53,6 +62,9 @@ impl std::fmt::Display for EngineError {
             EngineError::Run(msg) => write!(f, "inference failed: {msg}"),
             EngineError::ExpertFailed { layer, expert, reason } => {
                 write!(f, "expert {expert} of layer {layer} failed: {reason}")
+            }
+            EngineError::Cancelled { layer } => {
+                write!(f, "request cancelled at layer boundary {layer}")
             }
         }
     }

@@ -237,6 +237,9 @@ impl PackedMoeModel {
         }
 
         for li in 0..self.layers.len() {
+            if ctx.is_cancelled() {
+                return Err(EngineError::Cancelled { layer: li });
+            }
             let _span = milo_obs::span(|| format!("engine.layer{{layer={li}}}"));
             let normed = rms_norm(&x);
             let a = {
@@ -253,6 +256,9 @@ impl PackedMoeModel {
                 self.ffn_forward_resilient(li, &normed, ctx)?
             };
             x = x.add(&f).map_err(|e| EngineError::Run(e.to_string()))?;
+        }
+        if ctx.is_cancelled() {
+            return Err(EngineError::Cancelled { layer: self.layers.len() });
         }
 
         let final_x = rms_norm(&x);
@@ -294,8 +300,14 @@ impl PackedMoeModel {
             if assignment[e].is_empty() || ctx.health.is_failed(li, e) {
                 return None;
             }
-            if ctx.injected_kind(li, e) == Some(FaultKind::Panic) {
-                panic!("injected fault: expert {e} of layer {li} killed mid-dispatch");
+            match ctx.injected_kind(li, e) {
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: expert {e} of layer {li} killed mid-dispatch");
+                }
+                Some(FaultKind::Slow { millis }) => {
+                    ctx.sleep_interruptible(std::time::Duration::from_millis(millis));
+                }
+                _ => {}
             }
             let toks = &assignment[e];
             let mut sub = Matrix::zeros(toks.len(), self.d_model);
@@ -316,7 +328,7 @@ impl PackedMoeModel {
         let mut outputs: Vec<Option<Matrix>> = Vec::with_capacity(n_experts);
         for (e, task) in raw.into_iter().enumerate() {
             let outcome = match task {
-                Err(panic_msg) => Err(panic_msg),
+                Err(panic) => Err(panic.message),
                 Ok(None) => Ok(None),
                 Ok(Some(Err(err))) => Err(format!("kernel error: {err}")),
                 Ok(Some(Ok(y))) if !y.as_slice().iter().all(|v| v.is_finite()) => {
@@ -325,7 +337,12 @@ impl PackedMoeModel {
                 Ok(Some(Ok(y))) => Ok(Some(y)),
             };
             match outcome {
-                Ok(maybe) => outputs.push(maybe),
+                Ok(maybe) => {
+                    if maybe.is_some() {
+                        ctx.health.probe_succeeded(li, e);
+                    }
+                    outputs.push(maybe);
+                }
                 Err(reason) => match ctx.mode {
                     FaultMode::Strict => {
                         return Err(EngineError::ExpertFailed { layer: li, expert: e, reason })
@@ -366,15 +383,21 @@ impl PackedMoeModel {
             if ctx.health.is_failed(li, idx) {
                 return None;
             }
-            if ctx.injected_kind(li, idx) == Some(FaultKind::Panic) {
-                panic!("injected fault: shared expert {s} of layer {li} killed mid-dispatch");
+            match ctx.injected_kind(li, idx) {
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: shared expert {s} of layer {li} killed mid-dispatch");
+                }
+                Some(FaultKind::Slow { millis }) => {
+                    ctx.sleep_interruptible(std::time::Duration::from_millis(millis));
+                }
+                _ => {}
             }
             Some(shared[s].forward(x))
         });
         for (s, task) in shared_raw.into_iter().enumerate() {
             let idx = n_experts + s;
             let outcome = match task {
-                Err(panic_msg) => Err(panic_msg),
+                Err(panic) => Err(panic.message),
                 Ok(None) => Ok(None),
                 Ok(Some(Err(err))) => Err(format!("kernel error: {err}")),
                 Ok(Some(Ok(y))) if !y.as_slice().iter().all(|v| v.is_finite()) => {
@@ -385,6 +408,7 @@ impl PackedMoeModel {
             match outcome {
                 Ok(None) => {}
                 Ok(Some(y)) => {
+                    ctx.health.probe_succeeded(li, idx);
                     for t in 0..tokens_n {
                         for (o, v) in out.row_mut(t).iter_mut().zip(y.row(t)) {
                             *o += v;

@@ -23,8 +23,19 @@
 //!   faults for [`milo_moe::ResilienceContext`] that panic a chosen
 //!   expert mid-dispatch or poison its output, exercising strict and
 //!   degrade recovery paths.
+//! * **Latency faults** ([`slow_expert`], [`stall_expert`]) — experts
+//!   that sleep before computing, from "slow" to "stalled past any
+//!   deadline", exercising deadlines, watchdog cancellation, and load
+//!   shedding in `milo-serve`.
+//! * **Chaos soak** ([`soak`]) — thousands of seeded requests through a
+//!   real packed-engine server under kill/poison/slow faults and burst
+//!   arrivals, asserting the serving invariants end to end.
 
 #![warn(missing_docs)]
+
+pub mod soak;
+
+pub use soak::{run_soak, SoakConfig, SoakReport};
 
 use milo_moe::{FaultKind, InjectedFault};
 use milo_quant::qtensor::QuantizedMatrix;
@@ -154,6 +165,21 @@ pub fn kill_expert(layer: usize, expert: usize) -> InjectedFault {
 /// layer `layer` with NaN.
 pub fn poison_expert(layer: usize, expert: usize) -> InjectedFault {
     InjectedFault { layer, expert, kind: FaultKind::NanOutput }
+}
+
+/// An injected *latency* fault: expert `expert` of layer `layer` sleeps
+/// `millis` before computing. The sleep is cooperative
+/// ([`milo_moe::ResilienceContext::sleep_interruptible`]), so a cancelled
+/// request escapes it within ~1 ms.
+pub fn slow_expert(layer: usize, expert: usize, millis: u64) -> InjectedFault {
+    InjectedFault { layer, expert, kind: FaultKind::Slow { millis } }
+}
+
+/// A latency fault long enough to stall any worker past a typical
+/// request deadline — the "stalled worker" chaos scenario. The watchdog
+/// must cancel the request and shed queued load; nothing may hang.
+pub fn stall_expert(layer: usize, expert: usize) -> InjectedFault {
+    slow_expert(layer, expert, 60_000)
 }
 
 #[cfg(test)]

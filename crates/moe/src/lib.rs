@@ -50,7 +50,10 @@ pub mod tensors;
 pub use capture::{capture_activations, capture_layer_activations, ActivationStore};
 pub use config::MoeConfig;
 pub use decode::DecodeState;
-pub use health::{FaultKind, FaultMode, HealthTracker, InjectedFault, ResilienceContext};
+pub use health::{
+    BreakerState, CancelToken, FaultKind, FaultMode, HealthTracker, InjectedFault,
+    ResilienceContext,
+};
 pub use model::{FfnBlock, MoeBlock, MoeModel, TransformerLayer};
 pub use profile::{profile_expert_frequency, FrequencyProfile};
 pub use tensors::{apply_compressed, layer_tensors};
@@ -83,6 +86,14 @@ pub enum MoeError {
         /// Human-readable failure cause.
         reason: String,
     },
+    /// The request's [`CancelToken`](health::CancelToken) fired (deadline
+    /// passed or a watchdog cancelled it); the forward pass unwound at a
+    /// layer boundary.
+    Cancelled {
+        /// The layer boundary at which the cancellation was observed
+        /// (`n_layers` = the pre-head check after the last layer).
+        layer: usize,
+    },
 }
 
 impl std::fmt::Display for MoeError {
@@ -96,6 +107,9 @@ impl std::fmt::Display for MoeError {
             MoeError::Tensor(e) => write!(f, "tensor error: {e}"),
             MoeError::ExpertFailed { layer, expert, reason } => {
                 write!(f, "expert {expert} of layer {layer} failed: {reason}")
+            }
+            MoeError::Cancelled { layer } => {
+                write!(f, "request cancelled at layer boundary {layer}")
             }
         }
     }

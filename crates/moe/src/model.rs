@@ -226,8 +226,14 @@ impl MoeBlock {
             if assignment[e].is_empty() || ctx.health.is_failed(layer, e) {
                 return None;
             }
-            if ctx.injected_kind(layer, e) == Some(FaultKind::Panic) {
-                panic!("injected fault: expert {e} of layer {layer} killed mid-dispatch");
+            match ctx.injected_kind(layer, e) {
+                Some(FaultKind::Panic) => {
+                    panic!("injected fault: expert {e} of layer {layer} killed mid-dispatch")
+                }
+                Some(FaultKind::Slow { millis }) => {
+                    ctx.sleep_interruptible(std::time::Duration::from_millis(millis));
+                }
+                _ => {}
             }
             let toks = &assignment[e];
             let mut sub = Matrix::zeros(toks.len(), d);
@@ -247,7 +253,7 @@ impl MoeBlock {
         let mut outputs: Vec<Option<Matrix>> = Vec::with_capacity(n_experts);
         for (e, task) in raw.into_iter().enumerate() {
             let outcome = match task {
-                Err(panic_msg) => Err(panic_msg),
+                Err(panic) => Err(panic.message),
                 Ok(None) => Ok(None),
                 Ok(Some(Err(err))) => Err(format!("tensor error: {err}")),
                 Ok(Some(Ok(y))) if !matrix_is_finite(&y) => {
@@ -256,7 +262,14 @@ impl MoeBlock {
                 Ok(Some(Ok(y))) => Ok(Some(y)),
             };
             match outcome {
-                Ok(maybe) => outputs.push(maybe),
+                Ok(maybe) => {
+                    // A clean dispatch of a half-open expert is its
+                    // recovery probe passing; no-op for healthy experts.
+                    if maybe.is_some() {
+                        ctx.health.probe_succeeded(layer, e);
+                    }
+                    outputs.push(maybe);
+                }
                 Err(reason) => match ctx.mode {
                     FaultMode::Strict => {
                         return Err(MoeError::ExpertFailed { layer, expert: e, reason })
@@ -300,10 +313,14 @@ impl MoeBlock {
             if ctx.health.is_failed(layer, idx) {
                 return None;
             }
-            if ctx.injected_kind(layer, idx) == Some(FaultKind::Panic) {
-                panic!(
+            match ctx.injected_kind(layer, idx) {
+                Some(FaultKind::Panic) => panic!(
                     "injected fault: shared expert {s} of layer {layer} killed mid-dispatch"
-                );
+                ),
+                Some(FaultKind::Slow { millis }) => {
+                    ctx.sleep_interruptible(std::time::Duration::from_millis(millis));
+                }
+                _ => {}
             }
             let mut res = self.shared[s].forward(x);
             if ctx.injected_kind(layer, idx) == Some(FaultKind::NanOutput) {
@@ -316,7 +333,7 @@ impl MoeBlock {
         for (s, task) in shared_raw.into_iter().enumerate() {
             let idx = n_experts + s;
             let outcome = match task {
-                Err(panic_msg) => Err(panic_msg),
+                Err(panic) => Err(panic.message),
                 Ok(None) => Ok(None),
                 Ok(Some(Err(err))) => Err(format!("tensor error: {err}")),
                 Ok(Some(Ok(y))) if !matrix_is_finite(&y) => {
@@ -327,6 +344,7 @@ impl MoeBlock {
             match outcome {
                 Ok(None) => {}
                 Ok(Some(y)) => {
+                    ctx.health.probe_succeeded(layer, idx);
                     for t in 0..tokens {
                         for (o, v) in out.row_mut(t).iter_mut().zip(y.row(t)) {
                             *o += v;
@@ -563,6 +581,12 @@ impl MoeModel {
         }
 
         for (li, layer) in self.layers.iter().enumerate() {
+            // Cooperative cancellation: a request whose deadline passed
+            // (or that a watchdog cancelled) unwinds at the next layer
+            // boundary instead of running to completion.
+            if ctx.is_cancelled() {
+                return Err(MoeError::Cancelled { layer: li });
+            }
             let _span = milo_obs::span(|| format!("moe.layer{{layer={li}}}"));
             let a = layer.attn.forward(&rms_norm(&x))?;
             x = x.add(&a)?;
@@ -572,6 +596,9 @@ impl MoeModel {
                 FfnBlock::Moe(moe) => moe.forward_resilient(&normed, li, ctx)?,
             };
             x = x.add(&f)?;
+        }
+        if ctx.is_cancelled() {
+            return Err(MoeError::Cancelled { layer: self.layers.len() });
         }
 
         let final_x = rms_norm(&x);

@@ -1,0 +1,169 @@
+//! Request-lifecycle serving layer over the resilient forward paths.
+//!
+//! The fault-tolerant core (`milo_moe::forward_resilient` and its packed
+//! analogue in `milo-engine`) answers *"what happens when an expert
+//! fails mid-forward?"*. This crate answers the next question a serving
+//! system must: *"what happens when requests arrive faster than they can
+//! be answered, take longer than their caller will wait, or fail in ways
+//! a retry would fix?"* It wraps a [`ForwardModel`] in a full request
+//! lifecycle:
+//!
+//! * **Bounded admission** — a bounded MPMC [`queue::Bounded`] rejects
+//!   work with a typed [`ServeError::Overloaded`] when full; queue depth
+//!   can never grow without bound.
+//! * **Deadlines** — a per-request budget becomes a
+//!   [`milo_moe::CancelToken`] carried through the forward path and
+//!   checked at every layer boundary; an expired request unwinds with a
+//!   typed [`ServeError::DeadlineExceeded`] naming the [`Stage`] it
+//!   reached.
+//! * **Retries** — retryable failures (strict-mode expert faults) are
+//!   retried under [`retry::RetryPolicy`]: exponential backoff with
+//!   seeded jitter from `milo_tensor::prng`, so every schedule is a pure
+//!   function of the server seed and request id.
+//! * **Circuit breakers** — the shared
+//!   [`HealthTracker`](milo_moe::HealthTracker) runs the
+//!   closed → open → half-open state machine (see `milo_moe::health`);
+//!   the server ticks cooldowns once per served request so quarantined
+//!   experts are re-probed and re-admitted deterministically.
+//! * **Watchdog + load shedding** — a watchdog thread cancels in-flight
+//!   requests past their deadline and, when workers are stalled, sheds
+//!   queued load deterministically under a selectable [`ShedPolicy`].
+//!
+//! Fault-free serving is *bit-identical* to calling the model's
+//! `forward_resilient` directly: admission, deadlines, and breakers only
+//! ever reject, cancel, or re-run a request — they never perturb the
+//! arithmetic of a successful forward pass.
+
+#![warn(missing_docs)]
+
+pub mod queue;
+pub mod request;
+pub mod retry;
+pub mod server;
+
+pub use queue::Bounded;
+pub use request::{Request, Response, Ticket};
+pub use retry::RetryPolicy;
+pub use server::{ForwardError, ForwardModel, Server, ServerConfig, ServerStats};
+
+/// Where in its lifecycle a request was when its deadline expired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Still waiting in the admission queue; no work was started.
+    Queued,
+    /// Executing the forward pass; the cancellation was observed at this
+    /// layer boundary (`n_layers` = the pre-head check after the last
+    /// layer).
+    Layer(usize),
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Stage::Queued => write!(f, "queued"),
+            Stage::Layer(l) => write!(f, "layer {l}"),
+        }
+    }
+}
+
+/// How the watchdog picks victims when shedding queued load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShedPolicy {
+    /// Shed the request that has waited longest (head-of-line drop):
+    /// the oldest request is the most likely to miss its deadline
+    /// anyway.
+    #[default]
+    OldestFirst,
+    /// Shed the lowest-priority request, breaking ties oldest-first.
+    LowestPriority,
+}
+
+impl std::fmt::Display for ShedPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShedPolicy::OldestFirst => write!(f, "oldest-first"),
+            ShedPolicy::LowestPriority => write!(f, "lowest-priority"),
+        }
+    }
+}
+
+/// Typed request-lifecycle errors. Every admitted request terminates
+/// with either a [`Response`] or exactly one of these.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The admission queue was full; the request was never enqueued.
+    Overloaded {
+        /// Queue depth observed at rejection.
+        depth: usize,
+        /// The queue's fixed capacity.
+        capacity: usize,
+    },
+    /// The request carried a zero-length (or already-expired) deadline;
+    /// rejected at admission before any work was queued.
+    InvalidDeadline,
+    /// The deadline expired; `stage` names how far the request got.
+    DeadlineExceeded {
+        /// Lifecycle stage at expiry.
+        stage: Stage,
+    },
+    /// Every retry attempt failed with a retryable error; `last` is the
+    /// final failure.
+    RetriesExhausted {
+        /// Number of forward attempts made.
+        attempts: u32,
+        /// Reason of the last failure.
+        last: String,
+    },
+    /// The watchdog shed this request from the queue to relieve
+    /// overload.
+    Shed {
+        /// The policy that selected it.
+        policy: ShedPolicy,
+    },
+    /// An expert failed and the failure is not retryable under the
+    /// request's fault mode / retry budget.
+    Expert {
+        /// Transformer layer index.
+        layer: usize,
+        /// Expert index within the layer.
+        expert: usize,
+        /// Failure cause.
+        reason: String,
+    },
+    /// A non-retryable engine error (invalid token, shape mismatch…).
+    Engine(String),
+    /// The server is shutting down and no longer admits requests.
+    ShuttingDown,
+    /// A worker panicked outside the isolated expert dispatch; the
+    /// panic was contained and converted to this error.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, capacity } => {
+                write!(f, "queue overloaded ({depth}/{capacity})")
+            }
+            ServeError::InvalidDeadline => write!(f, "zero-length or already-expired deadline"),
+            ServeError::DeadlineExceeded { stage } => {
+                write!(f, "deadline exceeded while {stage}")
+            }
+            ServeError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+            ServeError::Shed { policy } => write!(f, "shed by watchdog ({policy})"),
+            ServeError::Expert { layer, expert, reason } => {
+                write!(f, "expert {expert} of layer {layer} failed: {reason}")
+            }
+            ServeError::Engine(msg) => write!(f, "engine error: {msg}"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::Internal(msg) => write!(f, "internal worker failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Convenient result alias for serving operations.
+pub type Result<T> = std::result::Result<T, ServeError>;

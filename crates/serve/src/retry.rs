@@ -1,0 +1,95 @@
+//! Exponential backoff with seeded jitter.
+//!
+//! Jitter protects a real fleet from retry synchronization; *seeded*
+//! jitter keeps the test suite deterministic. Every delay is a pure
+//! function of `(policy, attempt, rng state)`, and the server derives
+//! each request's RNG from `server seed ⊕ request id`, so a soak run's
+//! entire retry schedule replays from one seed.
+
+use std::time::Duration;
+
+use milo_tensor::prng::Rng;
+use milo_tensor::rng::StdRng;
+
+/// Retry budget and backoff shape for retryable failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Maximum forward attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Backoff before the first retry.
+    pub base: Duration,
+    /// Ceiling on any single backoff delay.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(50),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy { max_attempts: 1, ..RetryPolicy::default() }
+    }
+
+    /// The jittered delay before retry number `retry` (0-based: the
+    /// delay between attempt 1 and attempt 2 is `backoff(0, …)`).
+    ///
+    /// Full-jitter-style: `min(cap, base · 2^retry) · U[0.5, 1.0)`, so
+    /// delays grow exponentially but two requests retrying the same
+    /// fault never synchronize.
+    pub fn backoff(&self, retry: u32, rng: &mut StdRng) -> Duration {
+        let exp = self.base.saturating_mul(1u32 << retry.min(16));
+        let ceiling = exp.min(self.cap);
+        let jitter = 0.5 + 0.5 * rng.gen::<f64>();
+        Duration::from_secs_f64(ceiling.as_secs_f64() * jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use milo_tensor::prng::SeedableRng;
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let p = RetryPolicy {
+            max_attempts: 8,
+            base: Duration::from_millis(4),
+            cap: Duration::from_millis(20),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let d0 = p.backoff(0, &mut rng);
+        let d5 = p.backoff(5, &mut rng);
+        // Jitter keeps each delay in [0.5, 1.0)× the un-jittered value.
+        assert!(d0 >= Duration::from_millis(2) && d0 < Duration::from_millis(4));
+        assert!(d5 >= Duration::from_millis(10) && d5 < Duration::from_millis(20));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p = RetryPolicy::default();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let da: Vec<_> = (0..5).map(|r| p.backoff(r, &mut a)).collect();
+        let db: Vec<_> = (0..5).map(|r| p.backoff(r, &mut b)).collect();
+        assert_eq!(da, db);
+        let mut c = StdRng::seed_from_u64(43);
+        let dc: Vec<_> = (0..5).map(|r| p.backoff(r, &mut c)).collect();
+        assert_ne!(da, dc, "different seeds should jitter differently");
+    }
+
+    #[test]
+    fn huge_retry_index_does_not_overflow() {
+        let p = RetryPolicy::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = p.backoff(u32::MAX, &mut rng);
+        assert!(d <= p.cap);
+    }
+}

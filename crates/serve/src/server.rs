@@ -1,0 +1,857 @@
+//! The server: admission, worker pool, retry loop, watchdog.
+//!
+//! Lifecycle of one request:
+//!
+//! ```text
+//! submit ──admission──▶ queue ──claim──▶ forward (retry loop) ──▶ Response
+//!    │                    │                   │
+//!    │ Overloaded /       │ watchdog:         │ DeadlineExceeded{Layer} /
+//!    │ InvalidDeadline    │ DeadlineExceeded  │ RetriesExhausted /
+//!    ▼                    ▼ {Queued} / Shed   ▼ Expert / Engine / Internal
+//! ```
+//!
+//! Invariants the chaos soak asserts (see `milo-faults`):
+//!
+//! * no panic escapes a worker — expert panics are isolated by
+//!   `pool::try_par_map`, anything else by the worker's `catch_unwind`;
+//! * every admitted request terminates with a [`Response`] or exactly
+//!   one typed [`ServeError`];
+//! * queue depth never exceeds the configured capacity;
+//! * the fault-free path is bit-identical to calling the model's
+//!   `forward_resilient` directly.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use milo_moe::{FaultMode, HealthTracker, InjectedFault, ResilienceContext};
+use milo_tensor::prng::SeedableRng;
+use milo_tensor::rng::StdRng;
+use milo_tensor::Matrix;
+
+use crate::queue::{Bounded, PushError};
+use crate::request::{Inflight, Request, Response, Ticket};
+use crate::retry::RetryPolicy;
+use crate::{Result, ServeError, ShedPolicy, Stage};
+
+/// How a single forward attempt failed, as reported by a
+/// [`ForwardModel`]. The server classifies these: `Expert` failures are
+/// transient (retryable), `Cancelled` maps to a deadline error, `Other`
+/// is a permanent request defect.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ForwardError {
+    /// An expert failed under strict fault handling.
+    Expert {
+        /// Transformer layer index.
+        layer: usize,
+        /// Expert index within the layer.
+        expert: usize,
+        /// Failure cause.
+        reason: String,
+    },
+    /// The request's cancel token fired at a layer boundary.
+    Cancelled {
+        /// The boundary at which cancellation was observed.
+        layer: usize,
+    },
+    /// Any other failure (invalid token, shape mismatch…); never
+    /// retried.
+    Other(String),
+}
+
+/// A model the server can drive: one resilient forward pass per call.
+///
+/// Implemented for [`milo_engine::PackedMoeModel`] (the deployment
+/// backend) and [`milo_moe::MoeModel`] (the dense reference), so tests
+/// can serve either.
+pub trait ForwardModel: Send + Sync {
+    /// Runs `tokens` through the model under `ctx`.
+    ///
+    /// # Errors
+    ///
+    /// See [`ForwardError`].
+    fn forward(
+        &self,
+        tokens: &[u32],
+        ctx: &ResilienceContext,
+    ) -> std::result::Result<Matrix, ForwardError>;
+}
+
+impl ForwardModel for milo_engine::PackedMoeModel {
+    fn forward(
+        &self,
+        tokens: &[u32],
+        ctx: &ResilienceContext,
+    ) -> std::result::Result<Matrix, ForwardError> {
+        self.forward_resilient(tokens, ctx).map_err(|e| match e {
+            milo_engine::EngineError::ExpertFailed { layer, expert, reason } => {
+                ForwardError::Expert { layer, expert, reason }
+            }
+            milo_engine::EngineError::Cancelled { layer } => ForwardError::Cancelled { layer },
+            other => ForwardError::Other(other.to_string()),
+        })
+    }
+}
+
+/// Closures serve as models too — the soak driver and the test suite
+/// use this to script failure sequences without building a real model.
+impl<F> ForwardModel for F
+where
+    F: Fn(&[u32], &ResilienceContext) -> std::result::Result<Matrix, ForwardError>
+        + Send
+        + Sync,
+{
+    fn forward(
+        &self,
+        tokens: &[u32],
+        ctx: &ResilienceContext,
+    ) -> std::result::Result<Matrix, ForwardError> {
+        self(tokens, ctx)
+    }
+}
+
+impl ForwardModel for milo_moe::MoeModel {
+    fn forward(
+        &self,
+        tokens: &[u32],
+        ctx: &ResilienceContext,
+    ) -> std::result::Result<Matrix, ForwardError> {
+        self.forward_resilient(tokens, ctx).map_err(|e| match e {
+            milo_moe::MoeError::ExpertFailed { layer, expert, reason } => {
+                ForwardError::Expert { layer, expert, reason }
+            }
+            milo_moe::MoeError::Cancelled { layer } => ForwardError::Cancelled { layer },
+            other => ForwardError::Other(other.to_string()),
+        })
+    }
+}
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads executing forward passes.
+    pub workers: usize,
+    /// Admission queue capacity; pushes beyond it are
+    /// [`ServeError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Deadline budget applied to requests that do not carry their own
+    /// (`None` = no deadline).
+    pub default_deadline: Option<Duration>,
+    /// Retry budget and backoff shape for retryable failures.
+    pub retry: RetryPolicy,
+    /// Victim selection when the watchdog sheds queued load.
+    pub shed_policy: ShedPolicy,
+    /// Fault mode for requests that do not carry their own.
+    pub mode: FaultMode,
+    /// Seed for retry jitter; each request derives its own RNG from
+    /// `seed ⊕ id`, so schedules are reproducible.
+    pub seed: u64,
+    /// Circuit-breaker cooldown in ticks (one tick per served request);
+    /// 0 keeps quarantine sticky, matching `HealthTracker::new`.
+    pub breaker_cooldown: u64,
+    /// Watchdog scan interval.
+    pub watchdog_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 64,
+            default_deadline: None,
+            retry: RetryPolicy::default(),
+            shed_policy: ShedPolicy::OldestFirst,
+            mode: FaultMode::Degrade,
+            seed: 0x4D69_4C6F, // "MiLo"
+            breaker_cooldown: 8,
+            watchdog_interval: Duration::from_millis(5),
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    shed: AtomicU64,
+    retries: AtomicU64,
+    panics: AtomicU64,
+    watchdog_cancels: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+/// A point-in-time snapshot of server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub admitted: u64,
+    /// Requests refused with [`ServeError::Overloaded`].
+    pub rejected: u64,
+    /// Requests that produced a [`Response`].
+    pub completed: u64,
+    /// Requests that terminated with a typed error after admission.
+    pub failed: u64,
+    /// Requests dropped by the watchdog's load shedding.
+    pub shed: u64,
+    /// Total retry attempts across all requests.
+    pub retries: u64,
+    /// Worker panics contained by `catch_unwind`.
+    pub panics: u64,
+    /// In-flight requests cancelled by the watchdog.
+    pub watchdog_cancels: u64,
+    /// Highest queue depth observed at admission.
+    pub max_depth: u64,
+}
+
+struct Shared {
+    model: Arc<dyn ForwardModel>,
+    cfg: ServerConfig,
+    queue: Bounded<Arc<Inflight>>,
+    registry: Mutex<Vec<Weak<Inflight>>>,
+    health: Arc<HealthTracker>,
+    faults: Mutex<Vec<InjectedFault>>,
+    next_id: AtomicU64,
+    shutdown: AtomicBool,
+    stats: Counters,
+}
+
+/// The serving core: a worker pool behind a bounded queue, watched by a
+/// deadline/shedding watchdog. See the module docs for the lifecycle.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the worker pool and watchdog.
+    pub fn start(model: Arc<dyn ForwardModel>, cfg: ServerConfig) -> Self {
+        let health = Arc::new(if cfg.breaker_cooldown > 0 {
+            HealthTracker::with_cooldown(cfg.breaker_cooldown)
+        } else {
+            HealthTracker::new()
+        });
+        let shared = Arc::new(Shared {
+            model,
+            queue: Bounded::new(cfg.queue_capacity),
+            registry: Mutex::new(Vec::new()),
+            health,
+            faults: Mutex::new(Vec::new()),
+            next_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            stats: Counters::default(),
+            cfg,
+        });
+        milo_obs::gauge_set("serve.queue.depth", 0.0);
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let s = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&s))
+            })
+            .collect();
+        let watchdog = {
+            let s = Arc::clone(&shared);
+            Some(std::thread::spawn(move || watchdog_loop(&s)))
+        };
+        Server { shared, workers, watchdog }
+    }
+
+    /// Submits a request; returns a [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Overloaded`] when the queue is full,
+    /// [`ServeError::InvalidDeadline`] for a zero-length budget, and
+    /// [`ServeError::ShuttingDown`] after shutdown began. All three
+    /// reject *before* enqueueing — a rejected request consumes no
+    /// queue slot.
+    pub fn submit(&self, req: Request) -> Result<Ticket> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let budget = req.deadline.or(self.shared.cfg.default_deadline);
+        if budget.is_some_and(|b| b.is_zero()) {
+            return Err(ServeError::InvalidDeadline);
+        }
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let deadline = budget.map(|b| Instant::now() + b);
+        let mode = req.mode.unwrap_or(self.shared.cfg.mode);
+        let inflight = Arc::new(Inflight::new(id, req.tokens, req.priority, mode, deadline));
+        self.shared
+            .registry
+            .lock()
+            .unwrap()
+            .push(Arc::downgrade(&inflight));
+        match self.shared.queue.try_push(Arc::clone(&inflight)) {
+            Ok(depth) => {
+                self.shared.stats.admitted.fetch_add(1, Ordering::Relaxed);
+                self.shared
+                    .stats
+                    .max_depth
+                    .fetch_max(depth as u64, Ordering::Relaxed);
+                milo_obs::gauge_set("serve.queue.depth", depth as f64);
+                milo_obs::counter_inc("serve.admitted.total");
+                Ok(Ticket { inner: inflight })
+            }
+            Err(PushError::Full(_)) => {
+                self.shared.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                milo_obs::counter_inc("serve.rejected.total");
+                Err(ServeError::Overloaded {
+                    depth: self.shared.queue.len(),
+                    capacity: self.shared.queue.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Replaces the injected fault set consulted by subsequent
+    /// requests (soak drivers flip faults on and off mid-run).
+    pub fn set_faults(&self, faults: Vec<InjectedFault>) {
+        *self.shared.faults.lock().unwrap() = faults;
+    }
+
+    /// Clears all injected faults.
+    pub fn clear_faults(&self) {
+        self.shared.faults.lock().unwrap().clear();
+    }
+
+    /// The shared circuit-breaker ledger.
+    pub fn health(&self) -> &Arc<HealthTracker> {
+        &self.shared.health
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> ServerStats {
+        let c = &self.shared.stats;
+        ServerStats {
+            admitted: c.admitted.load(Ordering::Relaxed),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            shed: c.shed.load(Ordering::Relaxed),
+            retries: c.retries.load(Ordering::Relaxed),
+            panics: c.panics.load(Ordering::Relaxed),
+            watchdog_cancels: c.watchdog_cancels.load(Ordering::Relaxed),
+            max_depth: c.max_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops admission, fails queued requests with
+    /// [`ServeError::ShuttingDown`], joins workers and watchdog, and
+    /// returns the final stats.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        if self.shared.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.shared.queue.close();
+        for pending in self.shared.queue.drain() {
+            pending.resolve_queued(Err(ServeError::ShuttingDown));
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(wd) = self.watchdog.take() {
+            let _ = wd.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while let Some(inflight) = shared.queue.pop() {
+        milo_obs::gauge_set("serve.queue.depth", shared.queue.len() as f64);
+        if !inflight.claim() {
+            // Watchdog already resolved it (shed or expired while queued).
+            continue;
+        }
+        let outcome =
+            std::panic::catch_unwind(AssertUnwindSafe(|| handle(shared, &inflight)));
+        let result = match outcome {
+            Ok(result) => result,
+            Err(payload) => {
+                shared.stats.panics.fetch_add(1, Ordering::Relaxed);
+                milo_obs::counter_inc("serve.panic.total");
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(ServeError::Internal(msg))
+            }
+        };
+        match &result {
+            Ok(resp) => {
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                milo_obs::counter_inc("serve.completed.total");
+                milo_obs::hist_record(
+                    "serve.request.latency",
+                    resp.latency.as_nanos() as u64,
+                    milo_obs::Unit::Nanos,
+                );
+            }
+            Err(_) => {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                milo_obs::counter_inc("serve.failed.total");
+            }
+        }
+        inflight.resolve(result);
+    }
+}
+
+/// Executes one claimed request: breaker tick, retry loop, typed
+/// terminal outcome.
+fn handle(shared: &Shared, inflight: &Inflight) -> Result<Response> {
+    let _span = milo_obs::span(|| format!("serve.request{{id={}}}", inflight.id));
+    if inflight.cancel.is_cancelled() {
+        // Expired while queued; no work was started.
+        return Err(ServeError::DeadlineExceeded { stage: Stage::Queued });
+    }
+    // One breaker tick per served request: cooldowns are measured in
+    // requests, not wall time, so recovery is deterministic under load.
+    shared.health.tick();
+
+    let policy = &shared.cfg.retry;
+    let mut rng =
+        StdRng::seed_from_u64(shared.cfg.seed ^ inflight.id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        let ctx = ResilienceContext::with_shared_health(
+            inflight.mode,
+            Arc::clone(&shared.health),
+        )
+        .with_cancel(inflight.cancel.clone());
+        let ctx = ResilienceContext {
+            injected: shared.faults.lock().unwrap().clone(),
+            ..ctx
+        };
+        match shared.model.forward(&inflight.tokens, &ctx) {
+            Ok(logits) => {
+                return Ok(Response {
+                    id: inflight.id,
+                    logits,
+                    attempts,
+                    latency: inflight.admitted.elapsed(),
+                });
+            }
+            Err(ForwardError::Cancelled { layer }) => {
+                return Err(ServeError::DeadlineExceeded { stage: Stage::Layer(layer) });
+            }
+            Err(ForwardError::Other(msg)) => return Err(ServeError::Engine(msg)),
+            Err(ForwardError::Expert { layer, expert, reason }) => {
+                if policy.max_attempts <= 1 {
+                    // No retry budget configured: surface the raw failure.
+                    return Err(ServeError::Expert { layer, expert, reason });
+                }
+                if attempts >= policy.max_attempts {
+                    return Err(ServeError::RetriesExhausted { attempts, last: reason });
+                }
+                let delay = policy.backoff(attempts - 1, &mut rng);
+                if inflight
+                    .cancel
+                    .remaining()
+                    .is_some_and(|left| left <= delay)
+                {
+                    // Backing off would blow the deadline; stop here with
+                    // the retry budget unspent rather than guarantee a
+                    // deadline miss.
+                    return Err(ServeError::RetriesExhausted { attempts, last: reason });
+                }
+                shared.stats.retries.fetch_add(1, Ordering::Relaxed);
+                milo_obs::counter_inc("serve.retry.total");
+                ctx.sleep_interruptible(delay);
+            }
+        }
+    }
+}
+
+fn watchdog_loop(shared: &Shared) {
+    while !shared.shutdown.load(Ordering::Acquire) {
+        std::thread::sleep(shared.cfg.watchdog_interval);
+        let now = Instant::now();
+        let mut stalled = 0usize;
+        {
+            let mut registry = shared.registry.lock().unwrap();
+            registry.retain(|weak| {
+                let Some(entry) = weak.upgrade() else { return false };
+                if entry.is_done() {
+                    return false;
+                }
+                if !entry.past_deadline(now) {
+                    return true;
+                }
+                if entry.is_running() {
+                    // A worker is past budget on this request: cancel it
+                    // (it unwinds at the next layer boundary) and count
+                    // the stall so load is shed below.
+                    if !entry.cancel.cancel_requested() {
+                        entry.cancel.cancel();
+                        shared
+                            .stats
+                            .watchdog_cancels
+                            .fetch_add(1, Ordering::Relaxed);
+                        milo_obs::counter_inc("serve.watchdog.cancel.total");
+                    }
+                    stalled += 1;
+                    return true;
+                }
+                // Still queued and already expired: resolve it here so
+                // the caller is unblocked without waiting for a worker.
+                if entry.resolve_queued(Err(ServeError::DeadlineExceeded {
+                    stage: Stage::Queued,
+                })) {
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    milo_obs::counter_inc("serve.failed.total");
+                    milo_obs::counter_inc("serve.deadline.queued.total");
+                }
+                false
+            });
+        }
+        // Workers are stalled past deadline: relieve pressure by
+        // shedding one queued victim per stalled worker, selected by
+        // the configured policy.
+        for _ in 0..stalled {
+            let policy = shared.cfg.shed_policy;
+            let Some(victim) = shared.queue.remove_worst(|e| shed_score(policy, e)) else {
+                break;
+            };
+            if victim.resolve_queued(Err(ServeError::Shed { policy })) {
+                shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                milo_obs::counter_inc("serve.shed.total");
+                milo_obs::counter_inc("serve.failed.total");
+                milo_obs::gauge_set("serve.queue.depth", shared.queue.len() as f64);
+            }
+        }
+    }
+}
+
+/// Victim score for load shedding: the queue removes the max.
+fn shed_score(policy: ShedPolicy, e: &Arc<Inflight>) -> u64 {
+    match policy {
+        // Oldest first: smaller id = admitted earlier = higher score.
+        ShedPolicy::OldestFirst => u64::MAX - e.id,
+        // Lowest priority first, oldest within a priority class (ids
+        // stay well under 2^56, so the mask never loses ordering).
+        ShedPolicy::LowestPriority => {
+            (u64::from(u8::MAX - e.priority) << 56) | ((u64::MAX - e.id) & ((1 << 56) - 1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn ok_model() -> Arc<dyn ForwardModel> {
+        Arc::new(|tokens: &[u32], _ctx: &ResilienceContext| {
+            Ok(Matrix::filled(tokens.len(), 4, tokens[0] as f32))
+        })
+    }
+
+    fn quick_cfg() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_capacity: 8,
+            watchdog_interval: Duration::from_millis(2),
+            ..ServerConfig::default()
+        }
+    }
+
+    #[test]
+    fn fault_free_request_round_trips() {
+        let server = Server::start(ok_model(), quick_cfg());
+        let ticket = server.submit(Request::new(vec![3, 1, 4])).unwrap();
+        let resp = ticket.wait().unwrap();
+        assert_eq!(resp.attempts, 1);
+        assert_eq!(resp.logits.rows(), 3);
+        assert_eq!(resp.logits.row(0)[0], 3.0);
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.panics, 0);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_typed_overloaded() {
+        // A model that blocks until cancelled keeps workers busy so the
+        // queue genuinely fills.
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let model: Arc<dyn ForwardModel> =
+            Arc::new(move |_tokens: &[u32], _ctx: &ResilienceContext| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(Matrix::zeros(1, 1))
+            });
+        let server = Server::start(
+            model,
+            ServerConfig { workers: 1, queue_capacity: 2, ..quick_cfg() },
+        );
+        let mut tickets = Vec::new();
+        // 1 running + 2 queued fill the server.
+        let mut rejected = None;
+        for _ in 0..8 {
+            match server.submit(Request::new(vec![0])) {
+                Ok(t) => tickets.push(t),
+                Err(e) => {
+                    rejected = Some(e);
+                    break;
+                }
+            }
+        }
+        match rejected.expect("queue should have filled") {
+            ServeError::Overloaded { depth, capacity } => {
+                assert_eq!(capacity, 2);
+                assert!(depth <= capacity);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        gate.store(true, Ordering::Release);
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.rejected, 1);
+        assert!(stats.max_depth <= 2);
+    }
+
+    #[test]
+    fn zero_deadline_rejected_at_admission() {
+        let server = Server::start(ok_model(), quick_cfg());
+        let err = server
+            .submit(Request::new(vec![1]).with_deadline(Duration::ZERO))
+            .unwrap_err();
+        assert_eq!(err, ServeError::InvalidDeadline);
+        let stats = server.shutdown();
+        assert_eq!(stats.admitted, 0);
+    }
+
+    #[test]
+    fn transient_expert_failure_is_retried_to_success() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        let model: Arc<dyn ForwardModel> =
+            Arc::new(move |_tokens: &[u32], _ctx: &ResilienceContext| {
+                if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err(ForwardError::Expert {
+                        layer: 0,
+                        expert: 1,
+                        reason: "flaky".into(),
+                    })
+                } else {
+                    Ok(Matrix::zeros(1, 1))
+                }
+            });
+        let server = Server::start(model, quick_cfg());
+        let resp = server.submit(Request::new(vec![1])).unwrap().wait().unwrap();
+        assert_eq!(resp.attempts, 2);
+        let stats = server.shutdown();
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn persistent_failure_exhausts_retry_budget() {
+        let model: Arc<dyn ForwardModel> =
+            Arc::new(|_tokens: &[u32], _ctx: &ResilienceContext| {
+                Err(ForwardError::Expert { layer: 2, expert: 5, reason: "dead".into() })
+            });
+        let server = Server::start(model, quick_cfg());
+        let err = server.submit(Request::new(vec![1])).unwrap().wait().unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::RetriesExhausted { attempts: 3, last: "dead".into() }
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn no_retry_budget_surfaces_raw_expert_error() {
+        let model: Arc<dyn ForwardModel> =
+            Arc::new(|_tokens: &[u32], _ctx: &ResilienceContext| {
+                Err(ForwardError::Expert { layer: 1, expert: 0, reason: "dead".into() })
+            });
+        let server = Server::start(
+            model,
+            ServerConfig { retry: RetryPolicy::none(), ..quick_cfg() },
+        );
+        let err = server.submit(Request::new(vec![1])).unwrap().wait().unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::Expert { layer: 1, expert: 0, reason: "dead".into() }
+        );
+        server.shutdown();
+    }
+
+    #[test]
+    fn deadline_mid_forward_maps_to_layer_stage() {
+        // The model cooperates with cancellation like a real forward
+        // pass: it polls the token and unwinds at "layer 3".
+        let model: Arc<dyn ForwardModel> =
+            Arc::new(|_tokens: &[u32], ctx: &ResilienceContext| {
+                ctx.sleep_interruptible(Duration::from_secs(5));
+                if ctx.is_cancelled() {
+                    return Err(ForwardError::Cancelled { layer: 3 });
+                }
+                Ok(Matrix::zeros(1, 1))
+            });
+        let server = Server::start(model, quick_cfg());
+        let err = server
+            .submit(Request::new(vec![1]).with_deadline(Duration::from_millis(20)))
+            .unwrap()
+            .wait()
+            .unwrap_err();
+        assert_eq!(err, ServeError::DeadlineExceeded { stage: Stage::Layer(3) });
+        let stats = server.shutdown();
+        assert_eq!(stats.failed, 1);
+    }
+
+    #[test]
+    fn stalled_worker_triggers_shedding_of_queued_load() {
+        // One worker wedged on a non-cooperative model (ignores its
+        // cancel token) past a short deadline; the queued requests have
+        // generous deadlines, so the only way they terminate early is
+        // the watchdog shedding them in response to the stall.
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let model: Arc<dyn ForwardModel> =
+            Arc::new(move |_tokens: &[u32], _ctx: &ResilienceContext| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(Matrix::zeros(1, 1))
+            });
+        let server = Server::start(
+            model,
+            ServerConfig {
+                workers: 1,
+                queue_capacity: 8,
+                shed_policy: ShedPolicy::OldestFirst,
+                ..quick_cfg()
+            },
+        );
+        let stalled = server
+            .submit(Request::new(vec![1]).with_deadline(Duration::from_millis(15)))
+            .unwrap();
+        // Let the worker claim the stalling request before queueing more.
+        std::thread::sleep(Duration::from_millis(5));
+        let queued: Vec<_> = (0..4)
+            .map(|_| {
+                server
+                    .submit(Request::new(vec![1]).with_deadline(Duration::from_secs(30)))
+                    .unwrap()
+            })
+            .collect();
+        let mut shed = 0;
+        for t in queued {
+            match t.wait() {
+                Err(ServeError::Shed { policy }) => {
+                    assert_eq!(policy, ShedPolicy::OldestFirst);
+                    shed += 1;
+                }
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert_eq!(shed, 4, "every queued request should be shed during the stall");
+        gate.store(true, Ordering::Release);
+        stalled.wait().unwrap();
+        let stats = server.shutdown();
+        assert!(stats.watchdog_cancels >= 1);
+        assert_eq!(stats.shed, 4);
+    }
+
+    #[test]
+    fn worker_panic_is_contained_as_internal_error() {
+        let model: Arc<dyn ForwardModel> =
+            Arc::new(|_tokens: &[u32], _ctx: &ResilienceContext| -> std::result::Result<Matrix, ForwardError> {
+                panic!("worker bug")
+            });
+        let server = Server::start(model, quick_cfg());
+        let err = server.submit(Request::new(vec![1])).unwrap().wait().unwrap_err();
+        match err {
+            ServeError::Internal(msg) => assert!(msg.contains("worker bug")),
+            other => panic!("expected Internal, got {other:?}"),
+        }
+        // The worker survives to serve the next request.
+        let err2 = server.submit(Request::new(vec![2])).unwrap().wait().unwrap_err();
+        assert!(matches!(err2, ServeError::Internal(_)));
+        let stats = server.shutdown();
+        assert_eq!(stats.panics, 2);
+    }
+
+    #[test]
+    fn shutdown_fails_pending_requests_and_stops_admission() {
+        let gate = Arc::new(AtomicBool::new(false));
+        let g = Arc::clone(&gate);
+        let model: Arc<dyn ForwardModel> =
+            Arc::new(move |_tokens: &[u32], _ctx: &ResilienceContext| {
+                while !g.load(Ordering::Acquire) {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok(Matrix::zeros(1, 1))
+            });
+        let server = Server::start(
+            model,
+            ServerConfig { workers: 1, queue_capacity: 4, ..quick_cfg() },
+        );
+        let running = server.submit(Request::new(vec![1])).unwrap();
+        std::thread::sleep(Duration::from_millis(10));
+        let queued = server.submit(Request::new(vec![2])).unwrap();
+        gate.store(true, Ordering::Release);
+        // Shutdown closes the queue; the running request completes, the
+        // queued one either completes (worker got it first) or fails
+        // with ShuttingDown (drained).
+        let handle = std::thread::spawn(move || {
+            (running.wait(), queued.wait())
+        });
+        server.shutdown();
+        let (r1, r2) = handle.join().unwrap();
+        r1.unwrap();
+        match r2 {
+            Ok(_) | Err(ServeError::ShuttingDown) => {}
+            other => panic!("unexpected queued outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lowest_priority_shed_picks_low_priority_victim() {
+        let e = |id: u64, priority: u8| {
+            Arc::new(Inflight::new(id, vec![], priority, FaultMode::Degrade, None))
+        };
+        let high = e(0, 9);
+        let low = e(1, 1);
+        assert!(
+            shed_score(ShedPolicy::LowestPriority, &low)
+                > shed_score(ShedPolicy::LowestPriority, &high)
+        );
+        // Same priority: older request sheds first.
+        let old = e(2, 5);
+        let newer = e(3, 5);
+        assert!(
+            shed_score(ShedPolicy::LowestPriority, &old)
+                > shed_score(ShedPolicy::LowestPriority, &newer)
+        );
+    }
+}

@@ -263,9 +263,30 @@ pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
     flat
 }
 
+/// A captured per-task panic from [`try_par_map`]: which task index
+/// failed and the original panic message. Callers attribute failures
+/// (e.g. "expert 3 of layer 1 died") without parsing strings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// The task index `i` whose `f(i)` panicked.
+    pub index: usize,
+    /// The original panic message (or a placeholder for non-string
+    /// payloads).
+    pub message: String,
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for TaskError {}
+
 /// Like [`par_map`], but panics in `f` are *captured per task* instead of
-/// tearing down the process: index `i` maps to `Err(message)` carrying
-/// the original panic message when `f(i)` panics, `Ok(value)` otherwise.
+/// tearing down the process: index `i` maps to `Err(TaskError)` carrying
+/// the failing index and the original panic message when `f(i)` panics,
+/// `Ok(value)` otherwise.
 ///
 /// This is the isolation primitive MoE expert dispatch uses — one
 /// poisoned expert becomes a per-expert failure the router can degrade
@@ -276,9 +297,9 @@ pub fn par_map<T: Send>(n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
 pub fn try_par_map<T: Send>(
     n: usize,
     f: impl Fn(usize) -> T + Sync,
-) -> Vec<std::result::Result<T, String>> {
+) -> Vec<std::result::Result<T, TaskError>> {
     install_quiet_hook();
-    let guarded = |i: usize| -> std::result::Result<T, String> {
+    let guarded = |i: usize| -> std::result::Result<T, TaskError> {
         struct Quiet(bool);
         impl Drop for Quiet {
             fn drop(&mut self) {
@@ -287,7 +308,7 @@ pub fn try_par_map<T: Send>(
         }
         let _quiet = Quiet(CAPTURING.with(|c| c.replace(true)));
         panic::catch_unwind(AssertUnwindSafe(|| f(i)))
-            .map_err(|payload| panic_message(payload.as_ref()))
+            .map_err(|payload| TaskError { index: i, message: panic_message(payload.as_ref()) })
     };
     par_map(n, guarded)
 }
@@ -495,7 +516,10 @@ mod tests {
             assert_eq!(out.len(), 9, "threads={t}");
             for (i, r) in out.iter().enumerate() {
                 if i % 4 == 2 {
-                    assert_eq!(r.clone().unwrap_err(), format!("task {i} failed"));
+                    let err = r.clone().unwrap_err();
+                    assert_eq!(err.index, i, "threads={t}");
+                    assert_eq!(err.message, format!("task {i} failed"));
+                    assert_eq!(err.to_string(), format!("task {i} panicked: task {i} failed"));
                 } else {
                     assert_eq!(*r, Ok(i * 10), "threads={t}");
                 }

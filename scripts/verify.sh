@@ -17,6 +17,11 @@
 #    MILO_TELEMETRY=trace + --trace-out, then validates both Chrome
 #    traces with `milo-cli trace-check` (well-formed JSON, monotonic
 #    timestamps, at least one span per instrumented stage).
+# 6. Serving soak: the seeded quick chaos soak (1000 requests, kill +
+#    poison + slow faults, burst arrivals, deadlines) through the real
+#    server; the soak itself asserts the invariants (no escaped panics,
+#    bounded queue, every request resolved by deadline+ε, breakers
+#    recover) and exits nonzero on the first violation.
 #
 # Usage: scripts/verify.sh
 set -euo pipefail
@@ -141,3 +146,10 @@ MILO_TELEMETRY=trace "$cli" stats --model "$smoke_dir/tele.moem" \
 "$cli" trace-check --trace "$smoke_dir/stats_trace.json" \
     --require engine.forward,engine.layer,engine.attn,engine.ffn >/dev/null
 echo "ok: telemetry traces validated for quantize and stats (MILO_TELEMETRY=trace)"
+
+# --- 6. Serving soak (quick profile) ---------------------------------------
+# 1000 seeded requests through the serve layer with chaos faults; the
+# run budget is ~10s and the driver fails on the first invariant
+# violation, printing the seed so it reproduces exactly.
+"$cli" soak --quick --seed 7 >/dev/null
+echo "ok: quick serving soak held all invariants (seed 7)"

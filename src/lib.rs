@@ -15,6 +15,9 @@
 //!   dequantization, and fused packed GEMM.
 //! * [`engine`] — the packed-weight inference engine (the functional
 //!   analogue of the paper's MiLo serving backend).
+//! * [`serve`] — the request-lifecycle serving layer: bounded admission,
+//!   deadlines, retries with seeded backoff, per-expert circuit
+//!   breakers, and watchdog-driven load shedding.
 //! * [`gpu_sim`] — the analytical A100 performance model used to reproduce
 //!   the paper's kernel throughput and end-to-end latency results.
 //! * [`eval`] — the evaluation harness (perplexity, task fidelity, timing,
@@ -36,4 +39,5 @@ pub use milo_moe as moe;
 pub use milo_obs as obs;
 pub use milo_pack as pack;
 pub use milo_quant as quant;
+pub use milo_serve as serve;
 pub use milo_tensor as tensor;

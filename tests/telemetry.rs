@@ -222,6 +222,137 @@ fn quarantine_emits_structured_event_exactly_once() {
 }
 
 #[test]
+fn serving_metrics_cover_queue_retry_shed_and_latency() {
+    use milo::moe::ResilienceContext;
+    use milo::serve::{
+        ForwardError, ForwardModel, Request, RetryPolicy, Server, ServerConfig,
+    };
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    let _g = guard();
+    obs::set_level(Level::Metrics);
+
+    // A model that fails its first call and then succeeds: one request
+    // exercises the retry counter, the rest the completion/latency path.
+    let calls = Arc::new(AtomicUsize::new(0));
+    let c = Arc::clone(&calls);
+    let flaky: Arc<dyn ForwardModel> =
+        Arc::new(move |_tokens: &[u32], _ctx: &ResilienceContext| {
+            if c.fetch_add(1, Ordering::SeqCst) == 0 {
+                Err(ForwardError::Expert {
+                    layer: 0,
+                    expert: 0,
+                    reason: "transient".into(),
+                })
+            } else {
+                Ok(Matrix::zeros(1, 1))
+            }
+        });
+    let server = Server::start(
+        flaky,
+        ServerConfig {
+            workers: 1,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base: Duration::from_millis(1),
+                cap: Duration::from_millis(2),
+            },
+            ..ServerConfig::default()
+        },
+    );
+    for _ in 0..3 {
+        server.submit(Request::new(vec![1])).unwrap().wait().unwrap();
+    }
+    server.shutdown();
+    assert!(obs::counter_get("serve.admitted.total") >= 3);
+    assert!(obs::counter_get("serve.completed.total") >= 3);
+    assert!(obs::counter_get("serve.retry.total") >= 1, "flaky first call not retried");
+
+    // A wedged worker (non-cooperative model) with queued load behind
+    // it: the watchdog must shed, feeding the shed counter.
+    let gate = Arc::new(AtomicBool::new(false));
+    let g = Arc::clone(&gate);
+    let wedged: Arc<dyn ForwardModel> =
+        Arc::new(move |_tokens: &[u32], _ctx: &ResilienceContext| {
+            while !g.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Ok(Matrix::zeros(1, 1))
+        });
+    let server = Server::start(
+        wedged,
+        ServerConfig {
+            workers: 1,
+            queue_capacity: 8,
+            watchdog_interval: Duration::from_millis(2),
+            ..ServerConfig::default()
+        },
+    );
+    let stalled = server
+        .submit(Request::new(vec![1]).with_deadline(Duration::from_millis(15)))
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(5));
+    let queued: Vec<_> = (0..2)
+        .map(|_| {
+            server
+                .submit(Request::new(vec![1]).with_deadline(Duration::from_secs(30)))
+                .unwrap()
+        })
+        .collect();
+    for t in queued {
+        t.wait().unwrap_err();
+    }
+    gate.store(true, Ordering::Release);
+    stalled.wait().unwrap();
+    server.shutdown();
+    assert!(obs::counter_get("serve.shed.total") >= 2, "watchdog shed not counted");
+
+    // The registry holds the serving metric families with the right
+    // kinds: a queue-depth gauge and a request-latency histogram whose
+    // count covers every completed request.
+    let snap = obs::registry::snapshot();
+    let depth = snap.iter().find(|(k, _)| k == "serve.queue.depth");
+    assert!(
+        matches!(depth, Some((_, obs::registry::MetricSnapshot::Gauge(_)))),
+        "serve.queue.depth gauge missing: {depth:?}"
+    );
+    let latency = snap.iter().find(|(k, _)| k.starts_with("serve.request.latency"));
+    match latency {
+        Some((_, obs::registry::MetricSnapshot::Histogram(h))) => {
+            assert!(h.count >= 4, "latency histogram saw {} requests", h.count)
+        }
+        other => panic!("serve.request.latency histogram missing: {other:?}"),
+    }
+}
+
+#[test]
+fn breaker_transitions_emit_instant_events() {
+    let _g = guard();
+    obs::set_level(Level::Trace);
+
+    // Walk one breaker through its full cycle by hand and check each
+    // transition lands in the trace buffer as a structured instant.
+    let tracker = HealthTracker::with_cooldown(2);
+    tracker.record(1, 3, "nan output"); // closed -> open
+    tracker.tick();
+    tracker.tick(); // open -> half-open
+    assert!(tracker.probe_succeeded(1, 3)); // half-open -> closed
+
+    assert_eq!(obs::counter_get("moe.breaker.half_open.total"), 1);
+    assert_eq!(obs::counter_get("moe.breaker.recovered.total"), 1);
+
+    let trace = obs::trace::export_chrome();
+    let check = obs::validate_trace(&trace, &[]).unwrap();
+    // One quarantine instant + two breaker state-transition instants.
+    assert_eq!(check.instants, 3);
+    assert!(trace.contains("\"moe.breaker\""));
+    assert!(trace.contains("half_open"));
+    assert!(trace.contains("closed"));
+}
+
+#[test]
 fn metrics_level_skips_trace_buffer_but_fills_registry() {
     let _g = guard();
     obs::set_level(Level::Metrics);

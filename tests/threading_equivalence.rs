@@ -102,6 +102,56 @@ fn packed_engine_forward_identical_across_thread_counts() {
 }
 
 #[test]
+fn fault_free_serving_identical_to_direct_forward() {
+    // The serving layer must be a pure request-lifecycle wrapper: with
+    // no faults injected, logits served through the queue/worker/retry
+    // machinery are bit-identical to a direct `forward_resilient` call,
+    // at every worker count (the pool's own thread-count invariance is
+    // covered above, so together these pin the whole serving stack).
+    use milo::moe::{FaultMode, ResilienceContext};
+    use milo::serve::{Request, Server, ServerConfig};
+    use std::sync::Arc;
+
+    let mut cfg = MoeConfig::tiny_mixtral();
+    cfg.n_layers = 2;
+    let reference = MoeModel::synthesize(&cfg, 57);
+    let tensors = layer_tensors(&reference, None);
+    let opts = MiloOptions { max_iters: 1, ..MiloOptions::default() };
+    let compressed =
+        compress_model(&tensors, &RankPolicy::uniform(2), &opts, 2).unwrap();
+    let engine = Arc::new(PackedMoeModel::build(&reference, &compressed).unwrap());
+
+    let prompts: Vec<Vec<u32>> = (0..6)
+        .map(|p| (0..8).map(|i| ((p * 11 + i * 5) % cfg.vocab) as u32).collect())
+        .collect();
+    let ctx = ResilienceContext::new(FaultMode::Degrade);
+    let direct: Vec<Matrix> = prompts
+        .iter()
+        .map(|t| engine.forward_resilient(t, &ctx).unwrap())
+        .collect();
+
+    for workers in SWEEP {
+        let model: Arc<PackedMoeModel> = Arc::clone(&engine);
+        let server =
+            Server::start(model, ServerConfig { workers, ..ServerConfig::default() });
+        let tickets: Vec<_> = prompts
+            .iter()
+            .map(|t| server.submit(Request::new(t.clone())).unwrap())
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let resp = ticket.wait().unwrap_or_else(|e| {
+                panic!("request {i} failed at {workers} workers: {e}")
+            });
+            assert_eq!(
+                direct[i], resp.logits,
+                "served logits diverged from direct forward (prompt {i}, {workers} workers)"
+            );
+        }
+        server.shutdown();
+    }
+}
+
+#[test]
 fn prop_matmul_independent_of_thread_count() {
     // Property: for random matrices the parallel product is bit-identical
     // to the serial one at every swept thread count. Rows/cols chosen so
